@@ -1,0 +1,105 @@
+// Ablation: the contribution of each pruning ingredient (§6/§7) — the
+// distance bound, the L1 bound (Algorithm 2), the L2 bound (Algorithm 3),
+// and the candidate index (Algorithm 4) — to query time and work, with
+// quality held against the deterministic single-source oracle.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "simrank/linear.h"
+#include "simrank/top_k_searcher.h"
+#include "util/table.h"
+#include "util/top_k.h"
+
+namespace {
+
+using namespace simrank;
+
+struct Config {
+  const char* label;
+  bool distance, l1, l2, index;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Ablation: pruning ingredients", args);
+  const int num_queries = args.queries > 0 ? args.queries : 30;
+
+  const auto spec =
+      eval::FindDataset("syn-epinions", args.scale * (args.full ? 1.0 : 0.5));
+  const DirectedGraph graph = eval::Generate(*spec);
+  std::printf("dataset %s: n=%s m=%s\n\n", spec->name.c_str(),
+              FormatCount(graph.NumVertices()).c_str(),
+              FormatCount(graph.NumEdges()).c_str());
+
+  SimRankParams params;
+  const LinearSimRank oracle(
+      graph, params, UniformDiagonal(graph.NumVertices(), params.decay));
+  const std::vector<Vertex> queries =
+      bench::SampleQueryVertices(graph, num_queries, 0xAB1);
+  // Oracle top-10 per query.
+  std::vector<std::vector<ScoredVertex>> truths;
+  for (Vertex u : queries) truths.push_back(oracle.TopK(u, 10, 0.01));
+
+  const Config configs[] = {
+      {"all ingredients", true, true, true, true},
+      {"no distance bound", false, true, true, true},
+      {"no L1 bound", true, false, true, true},
+      {"no L2 bound", true, true, false, true},
+      {"no bounds at all", false, false, false, true},
+      {"no index (BFS scan)", true, true, true, false},
+      {"nothing (BFS scan, no bounds)", false, false, false, false},
+  };
+  TablePrinter table({"configuration", "preproc", "avg query", "avg cand",
+                      "avg refined", "precision@10"});
+  for (const Config& config : configs) {
+    SearchOptions options;
+    options.simrank = params;
+    options.k = 10;
+    options.use_distance_bound = config.distance;
+    options.use_l1_bound = config.l1;
+    options.use_l2_bound = config.l2;
+    options.use_index = config.index;
+    TopKSearcher searcher(graph, options);
+    searcher.BuildIndex();
+    QueryWorkspace workspace(searcher);
+    double seconds = 0.0, candidates = 0.0, refined = 0.0, precision = 0.0;
+    int counted = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const QueryResult result = searcher.Query(queries[i], workspace);
+      seconds += result.stats.seconds;
+      candidates += static_cast<double>(result.stats.candidates_enumerated);
+      refined += static_cast<double>(result.stats.refined);
+      if (truths[i].size() >= 3) {
+        precision += eval::PrecisionAtK(result.top, truths[i],
+                                        static_cast<uint32_t>(
+                                            truths[i].size()));
+        ++counted;
+      }
+    }
+    const double q = static_cast<double>(queries.size());
+    table.AddRow({config.label,
+                  FormatDuration(searcher.preprocess_seconds()),
+                  FormatDuration(seconds / q), FormatDouble(candidates / q, 4),
+                  FormatDouble(refined / q, 4),
+                  counted == 0 ? "-" : FormatDouble(precision / counted, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nreading: two regimes. Index-enumerated candidates are already "
+      "similarity-biased,\nso bounds prune few of them; in the index-free "
+      "BFS scan the bounds do the heavy\nlifting, cutting thousands of "
+      "enumerated vertices down to a few dozen MC\nrefinements. Precision "
+      "differences between configurations stay within MC noise\n— bounds "
+      "only discard provably-small candidates. Note the L1 bound's per-"
+      "query\ncost (R=10000 walks): on small-candidate-set queries it can "
+      "exceed what it saves,\nwhich is why the paper pairs it with the "
+      "cheap precomputed L2 bound.\n");
+  return 0;
+}

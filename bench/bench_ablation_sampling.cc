@@ -1,0 +1,90 @@
+// Ablation: the adaptive sampling scheme of §7.2 — rough estimates with a
+// small R followed by refinement of promising candidates — against
+// single-stage scoring, across rough-pass sample counts and admission
+// margins.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "simrank/linear.h"
+#include "simrank/top_k_searcher.h"
+#include "util/table.h"
+#include "util/top_k.h"
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Ablation: adaptive sampling (Sec. 7.2)", args);
+  const int num_queries = args.queries > 0 ? args.queries : 30;
+
+  const auto spec =
+      eval::FindDataset("syn-slashdot", args.scale * (args.full ? 1.0 : 0.5));
+  const DirectedGraph graph = eval::Generate(*spec);
+  std::printf("dataset %s: n=%s m=%s\n\n", spec->name.c_str(),
+              FormatCount(graph.NumVertices()).c_str(),
+              FormatCount(graph.NumEdges()).c_str());
+
+  SimRankParams params;
+  const LinearSimRank oracle(
+      graph, params, UniformDiagonal(graph.NumVertices(), params.decay));
+  const std::vector<Vertex> queries =
+      bench::SampleQueryVertices(graph, num_queries, 0xAB2);
+  std::vector<std::vector<ScoredVertex>> truths;
+  for (Vertex u : queries) truths.push_back(oracle.TopK(u, 10, 0.01));
+
+  struct Config {
+    const char* label;
+    bool adaptive;
+    uint32_t estimate_walks;
+    double margin;
+  };
+  const Config configs[] = {
+      {"single-stage (R=100 always)", false, 10, 0.3},
+      {"adaptive R=5,  margin 0.3", true, 5, 0.3},
+      {"adaptive R=10, margin 0.3 (default)", true, 10, 0.3},
+      {"adaptive R=10, margin 0.5 (aggressive)", true, 10, 0.5},
+      {"adaptive R=10, margin 0.1 (cautious)", true, 10, 0.1},
+      {"adaptive R=30, margin 0.3", true, 30, 0.3},
+  };
+  TablePrinter table({"configuration", "avg query", "avg rough", "avg skip",
+                      "avg refined", "precision@10"});
+  for (const Config& config : configs) {
+    SearchOptions options;
+    options.simrank = params;
+    options.k = 10;
+    options.adaptive_sampling = config.adaptive;
+    options.estimate_walks = config.estimate_walks;
+    options.adaptive_margin = config.margin;
+    TopKSearcher searcher(graph, options);
+    searcher.BuildIndex();
+    QueryWorkspace workspace(searcher);
+    double seconds = 0, rough = 0, skipped = 0, refined = 0, precision = 0;
+    int counted = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const QueryResult result = searcher.Query(queries[i], workspace);
+      seconds += result.stats.seconds;
+      rough += static_cast<double>(result.stats.rough_estimates);
+      skipped += static_cast<double>(result.stats.skipped_after_estimate);
+      refined += static_cast<double>(result.stats.refined);
+      if (truths[i].size() >= 3) {
+        precision += eval::PrecisionAtK(
+            result.top, truths[i], static_cast<uint32_t>(truths[i].size()));
+        ++counted;
+      }
+    }
+    const double q = static_cast<double>(queries.size());
+    table.AddRow({config.label, FormatDuration(seconds / q),
+                  FormatDouble(rough / q, 4), FormatDouble(skipped / q, 4),
+                  FormatDouble(refined / q, 4),
+                  counted == 0 ? "-" : FormatDouble(precision / counted, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nreading: the rough pass skips most candidates for a fraction of "
+      "the refine cost;\nlarger margins skip more but start to cost "
+      "precision (the paper's 10 -> 100\nscheme is the R=10 row).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#ifndef SIMRANK_BENCH_BENCH_COMMON_H_
+#define SIMRANK_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every bench accepts:
+//   --scale=<float>   multiply every dataset size (default 1.0; the same
+//                     knob as eval::DatasetRegistry)
+//   --full            include the largest datasets / configurations
+//   --queries=<int>   override the per-dataset query count
+// and prints aligned tables in the layout of the corresponding paper
+// artifact. EXPERIMENTS.md records paper-vs-measured numbers.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace simrank::bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  bool full = false;
+  int queries = 0;  // 0 = bench default
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      args.queries = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale=F] [--full] [--queries=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  const char* env = std::getenv("SIMRANK_BENCH_SCALE");
+  if (env != nullptr && args.scale == 1.0) args.scale = std::atof(env);
+  if (args.scale <= 0.0) args.scale = 1.0;
+  return args;
+}
+
+/// Samples `count` query vertices that have at least one in-link (walks
+/// from isolated vertices die immediately, which is uninteresting to
+/// benchmark). Deterministic in `seed`.
+inline std::vector<Vertex> SampleQueryVertices(const DirectedGraph& graph,
+                                               int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vertex> queries;
+  queries.reserve(count);
+  int guard = 0;
+  while (static_cast<int>(queries.size()) < count && guard < count * 100) {
+    const Vertex v = rng.UniformIndex(graph.NumVertices());
+    if (graph.InDegree(v) > 0) queries.push_back(v);
+    ++guard;
+  }
+  return queries;
+}
+
+/// Memory budget used to decide when a baseline "fails to allocate" — the
+/// reproduction of the paper's omitted (—) Table 4 entries on our smaller
+/// machine. 2 GB keeps the single-core bench suite fast while leaving the
+/// crossover points (who fails first, and in which order) intact.
+inline constexpr uint64_t kBaselineMemoryBudget = 2ull << 30;
+
+/// Prints a standard bench header.
+inline void PrintHeader(const char* title, const BenchArgs& args) {
+  std::printf("=== %s ===\n", title);
+  std::printf("(scale=%.3g%s; see EXPERIMENTS.md for paper-vs-measured)\n\n",
+              args.scale, args.full ? ", full" : "");
+}
+
+}  // namespace simrank::bench
+
+#endif  // SIMRANK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,92 @@
+// Ablation of the diagonal-correction estimator (simrank/diagonal.h, the
+// §3.3 extension): cost and accuracy of the fixed-point sweep vs the exact
+// diagonal extracted from the converged dense SimRank matrix, across sweep
+// counts and exact/Monte-Carlo inner loops.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "simrank/diagonal.h"
+#include "simrank/naive.h"
+#include "simrank/partial_sums.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Ablation: diagonal correction estimation (Sec. 3.3)",
+                     args);
+
+  const auto spec = eval::FindDataset("syn-ca-grqc", args.scale * 0.5);
+  const DirectedGraph graph = eval::Generate(*spec);
+  SimRankParams params;
+  std::printf("dataset %s: n=%s m=%s\n\n", spec->name.c_str(),
+              FormatCount(graph.NumVertices()).c_str(),
+              FormatCount(graph.NumEdges()).c_str());
+
+  // Reference: exact D from the converged dense matrix.
+  SimRankParams converged = params;
+  converged.num_steps = 40;
+  const DenseMatrix scores = ComputeSimRankPartialSums(graph, converged);
+  const std::vector<double> reference =
+      ExactDiagonalCorrection(graph, scores, converged);
+
+  auto max_error = [&](const std::vector<double>& estimate) {
+    double worst = 0.0;
+    for (size_t i = 0; i < estimate.size(); ++i) {
+      worst = std::max(worst, std::abs(estimate[i] - reference[i]));
+    }
+    return worst;
+  };
+
+  TablePrinter table(
+      {"inner loop", "sweeps", "residual", "max |D err|", "time"});
+  // The (1-c)I baseline everyone else uses.
+  {
+    const std::vector<double> uniform(graph.NumVertices(),
+                                      1.0 - params.decay);
+    table.AddRow({"(1-c)I approximation", "0", "-",
+                  FormatDouble(max_error(uniform), 3), "0 s"});
+  }
+  for (uint32_t sweeps : {5u, 20u, 80u}) {
+    DiagonalEstimateOptions options;
+    options.max_iterations = sweeps;
+    options.tolerance = 0.0;  // run all sweeps
+    double residual = 0.0;
+    WallTimer timer;
+    const std::vector<double> exact_est = EstimateDiagonalFixedPoint(
+        graph, params, options, nullptr, &residual);
+    table.AddRow({"exact propagation", std::to_string(sweeps),
+                  FormatDouble(residual, 3),
+                  FormatDouble(max_error(exact_est), 3),
+                  FormatDuration(timer.ElapsedSeconds())});
+  }
+  for (uint32_t walks : {50u, 200u}) {
+    DiagonalEstimateOptions options;
+    options.max_iterations = 20;
+    options.tolerance = 0.0;
+    options.monte_carlo_walks = walks;
+    double residual = 0.0;
+    WallTimer timer;
+    const std::vector<double> mc_est = EstimateDiagonalFixedPoint(
+        graph, params, options, nullptr, &residual);
+    table.AddRow({"Monte-Carlo R=" + std::to_string(walks), "20",
+                  FormatDouble(residual, 3),
+                  FormatDouble(max_error(mc_est), 3),
+                  FormatDuration(timer.ElapsedSeconds())});
+  }
+  table.Print();
+  std::printf(
+      "\nreading: a handful of damped sweeps already beats the (1-c)I "
+      "approximation by\nan order of magnitude; the Monte-Carlo inner loop "
+      "trades a small bias floor for\nscalability to graphs where exact "
+      "propagation is too slow. Note the estimator's\nerror is measured "
+      "against the truncated-series reference: small residuals mean\n"
+      "diagonal scores of exactly 1.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 1 reproduction: correlation of exact SimRank scores and
+// approximated (D ~ (1-c)I) scores for highly similar vertex pairs.
+//
+// The paper's figure is a log-log scatter lying on a slope-one line,
+// i.e. the approximation only rescales scores. This bench prints, per
+// dataset: the number of high-score pairs, the log-log (Pearson)
+// correlation, the fitted log-log slope, and the ratio spread — plus the
+// same statistics for the fixed-point estimated diagonal (this build's
+// extension), whose ratio should concentrate at 1.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "simrank/diagonal.h"
+#include "simrank/linear.h"
+#include "simrank/naive.h"
+#include "simrank/partial_sums.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace simrank;
+
+struct ScatterStats {
+  size_t pairs = 0;
+  double log_log_corr = 0.0;
+  double slope = 1.0;
+  double ratio_p10 = 0.0, ratio_median = 0.0, ratio_p90 = 0.0;
+};
+
+ScatterStats Collect(const DirectedGraph& graph, const DenseMatrix& exact,
+                     const LinearSimRank& approx, double threshold) {
+  std::vector<ScoredVertex> exact_pairs, approx_pairs;
+  std::vector<double> ratios;
+  std::vector<std::pair<double, double>> logs;
+  for (Vertex u = 0; u < graph.NumVertices(); u += 3) {
+    const std::vector<double> row = approx.SingleSource(u);
+    for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+      if (v == u || exact.At(u, v) < threshold || row[v] <= 0.0) continue;
+      const uint32_t id = u * graph.NumVertices() + v;
+      exact_pairs.push_back({id, exact.At(u, v)});
+      approx_pairs.push_back({id, row[v]});
+      ratios.push_back(row[v] / exact.At(u, v));
+      logs.push_back({std::log(exact.At(u, v)), std::log(row[v])});
+    }
+  }
+  ScatterStats stats;
+  stats.pairs = ratios.size();
+  if (ratios.empty()) return stats;
+  stats.log_log_corr = eval::LogLogCorrelation(approx_pairs, exact_pairs);
+  // Least-squares slope of log(approx) over log(exact).
+  double mx = 0, my = 0;
+  for (const auto& [x, y] : logs) {
+    mx += x;
+    my += y;
+  }
+  mx /= logs.size();
+  my /= logs.size();
+  double sxy = 0, sxx = 0;
+  for (const auto& [x, y] : logs) {
+    sxy += (x - mx) * (y - my);
+    sxx += (x - mx) * (x - mx);
+  }
+  stats.slope = sxx == 0 ? 1.0 : sxy / sxx;
+  std::sort(ratios.begin(), ratios.end());
+  stats.ratio_p10 = ratios[ratios.size() / 10];
+  stats.ratio_median = ratios[ratios.size() / 2];
+  stats.ratio_p90 = ratios[9 * ratios.size() / 10];
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader(
+      "Figure 1: exact vs approximated SimRank correlation", args);
+
+  SimRankParams params;  // c = 0.6, T = 11 (paper's setting, Sec. 8)
+  TablePrinter table({"dataset", "diagonal", "pairs", "loglog corr", "slope",
+                      "ratio p10/med/p90"});
+  for (const char* name : {"syn-ca-grqc", "syn-cit-hepth"}) {
+    const auto spec = eval::FindDataset(name, args.scale);
+    const DirectedGraph graph = eval::Generate(*spec);
+    const DenseMatrix exact = ComputeSimRankPartialSums(graph, params);
+
+    const LinearSimRank uniform(
+        graph, params, UniformDiagonal(graph.NumVertices(), params.decay));
+    const ScatterStats u_stats = Collect(graph, exact, uniform, 0.04);
+    char spread[64];
+    std::snprintf(spread, sizeof(spread), "%.2f / %.2f / %.2f",
+                  u_stats.ratio_p10, u_stats.ratio_median, u_stats.ratio_p90);
+    table.AddRow({spec->name, "(1-c)I", FormatCount(u_stats.pairs),
+                  FormatDouble(u_stats.log_log_corr, 4),
+                  FormatDouble(u_stats.slope, 4), spread});
+
+    DiagonalEstimateOptions options;
+    options.monte_carlo_walks = 100;
+    const LinearSimRank estimated(
+        graph, params,
+        EstimateDiagonalFixedPoint(graph, params, options));
+    const ScatterStats e_stats = Collect(graph, exact, estimated, 0.04);
+    std::snprintf(spread, sizeof(spread), "%.2f / %.2f / %.2f",
+                  e_stats.ratio_p10, e_stats.ratio_median, e_stats.ratio_p90);
+    table.AddRow({spec->name, "estimated", FormatCount(e_stats.pairs),
+                  FormatDouble(e_stats.log_log_corr, 4),
+                  FormatDouble(e_stats.slope, 4), spread});
+  }
+  table.Print();
+  std::printf(
+      "\nreading: loglog corr ~ 1 and slope ~ 1 reproduce the paper's "
+      "slope-one scatter\n(the approximation rescales scores without "
+      "reordering them); the estimated\ndiagonal additionally pulls the "
+      "ratio to ~1.\n");
+  return 0;
+}

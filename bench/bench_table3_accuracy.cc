@@ -1,0 +1,124 @@
+// Table 3 reproduction: accuracy of high-score retrieval.
+//
+// For each small dataset and threshold in {0.04, 0.05, 0.06, 0.07}: compute
+// the exact set of vertices with SimRank >= threshold w.r.t. each query
+// (partial-sums ground truth), then measure the fraction recovered by
+//   (a) the proposed searcher with the estimated diagonal (this build's
+//       faithful configuration — scores track true SimRank),
+//   (b) the proposed searcher with the paper's D ~ (1-c)I approximation
+//       (thresholded in its own rescaled score space), and
+//   (c) Fogaras-Racz with R' = 100 (the paper's comparator setting).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "simrank/fogaras_racz.h"
+#include "simrank/partial_sums.h"
+#include "simrank/top_k_searcher.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace simrank;
+
+constexpr double kThresholds[] = {0.04, 0.05, 0.06, 0.07};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Table 3: accuracy of high-score retrieval", args);
+  const int num_queries = args.queries > 0 ? args.queries : 100;
+
+  SimRankParams params;  // c = 0.6, T = 11
+  TablePrinter table({"dataset", "threshold", "proposed (est. D)",
+                      "proposed ((1-c)I)", "Fogaras-Racz"});
+  for (const char* name :
+       {"syn-ca-grqc", "syn-as", "syn-wiki-vote", "syn-ca-hepth"}) {
+    const auto spec = eval::FindDataset(name, args.scale);
+    const DirectedGraph graph = eval::Generate(*spec);
+    const DenseMatrix exact = ComputeSimRankPartialSums(graph, params);
+
+    // Proposed, estimated diagonal: scores approximate true SimRank, so
+    // retrieve with a slightly slack threshold and large k.
+    SearchOptions est_options;
+    est_options.simrank = params;
+    est_options.k = 400;
+    est_options.threshold = kThresholds[0] * 0.8;
+    est_options.estimate_diagonal = true;
+    est_options.seed = 42;
+    TopKSearcher est_searcher(graph, est_options);
+    est_searcher.BuildIndex();
+
+    // Proposed, uniform diagonal: same engine, scores shrunk by the
+    // approximation. Since the true D entries lie in [1-c, 1]
+    // (Proposition 2) and scores are linear in D, the approximated score
+    // is at least (1-c) times the true score — so thresholding at
+    // threshold * (1-c) is the conservative retrieval rule.
+    SearchOptions uni_options = est_options;
+    uni_options.estimate_diagonal = false;
+    const double scale_factor = 1.0 - params.decay;
+    uni_options.threshold = kThresholds[0] * 0.8 * scale_factor;
+    TopKSearcher uni_searcher(graph, uni_options);
+    uni_searcher.BuildIndex();
+
+    const FogarasRaczIndex fr(graph, params, /*num_fingerprints=*/100, 77);
+
+    const std::vector<Vertex> queries =
+        bench::SampleQueryVertices(graph, num_queries, 0xACC);
+    QueryWorkspace est_ws(est_searcher), uni_ws(uni_searcher);
+    std::vector<double> est_recall(std::size(kThresholds), 0.0);
+    std::vector<double> uni_recall(std::size(kThresholds), 0.0);
+    std::vector<double> fr_recall(std::size(kThresholds), 0.0);
+    std::vector<int> counted(std::size(kThresholds), 0);
+    std::vector<double> exact_row(graph.NumVertices());
+    for (Vertex u : queries) {
+      const auto est_top = est_searcher.Query(u, est_ws).top;
+      const auto uni_top = uni_searcher.Query(u, uni_ws).top;
+      const std::vector<double> fr_row = fr.SingleSource(u);
+      for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+        exact_row[v] = exact.At(u, v);
+      }
+      for (size_t t = 0; t < std::size(kThresholds); ++t) {
+        const double threshold = kThresholds[t];
+        const auto truth = eval::HighScoreSet(exact_row, threshold, u);
+        if (truth.empty()) continue;
+        auto filter = [](const std::vector<ScoredVertex>& ranking,
+                         double min_score) {
+          std::vector<ScoredVertex> kept;
+          for (const ScoredVertex& e : ranking) {
+            if (e.score >= min_score) kept.push_back(e);
+          }
+          return kept;
+        };
+        est_recall[t] +=
+            eval::RecallOfSet(filter(est_top, threshold * 0.8), truth);
+        uni_recall[t] += eval::RecallOfSet(
+            filter(uni_top, threshold * 0.8 * scale_factor), truth);
+        const auto fr_set = eval::HighScoreSet(fr_row, threshold * 0.8, u);
+        fr_recall[t] += eval::RecallOfSet(fr_set, truth);
+        ++counted[t];
+      }
+    }
+    for (size_t t = 0; t < std::size(kThresholds); ++t) {
+      if (counted[t] == 0) {
+        table.AddRow({name, FormatDouble(kThresholds[t], 2), "-", "-", "-"});
+        continue;
+      }
+      table.AddRow({name, FormatDouble(kThresholds[t], 2),
+                    FormatDouble(est_recall[t] / counted[t], 4),
+                    FormatDouble(uni_recall[t] / counted[t], 4),
+                    FormatDouble(fr_recall[t] / counted[t], 4)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nreading: paper reports 0.82-0.99 for the proposed method and "
+      "0.89-0.98 for\nFogaras-Racz; the estimated-diagonal configuration is "
+      "the faithful comparison\nagainst exact SimRank scores.\n");
+  return 0;
+}

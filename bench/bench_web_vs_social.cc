@@ -1,0 +1,77 @@
+// §8.1 reproduction: "the computational time of our algorithm depends on
+// the network structure rather than the network size. Specifically, our
+// algorithm works better for web graphs than for social networks."
+//
+// We generate a web-like and a social-like analog at (approximately) equal
+// edge counts and compare query time, candidate-set size, and the locality
+// of the results.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "graph/stats.h"
+#include "graph/traversal.h"
+#include "simrank/top_k_searcher.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Web vs social locality (Sec. 8.1 claim)", args);
+  const int num_queries = args.queries > 0 ? args.queries : 50;
+
+  TablePrinter table({"dataset", "family", "n", "m", "avg query",
+                      "avg candidates", "avg refined", "avg top-10 dist"});
+  for (const char* name : {"syn-web-stanford", "syn-epinions"}) {
+    const auto spec = eval::FindDataset(name, args.scale);
+    const DirectedGraph graph = eval::Generate(*spec);
+    SearchOptions options;
+    options.k = 20;
+    TopKSearcher searcher(graph, options);
+    searcher.BuildIndex();
+    QueryWorkspace workspace(searcher);
+    BfsWorkspace bfs(graph);
+    double seconds = 0.0, candidates = 0.0, refined = 0.0;
+    double top_distance = 0.0;
+    uint64_t top_counted = 0;
+    const std::vector<Vertex> queries =
+        bench::SampleQueryVertices(graph, num_queries, 0xEB);
+    for (Vertex u : queries) {
+      const QueryResult result = searcher.Query(u, workspace);
+      seconds += result.stats.seconds;
+      candidates += static_cast<double>(result.stats.candidates_enumerated);
+      refined += static_cast<double>(result.stats.refined);
+      bfs.Run(u, EdgeDirection::kUndirected, 8);
+      size_t rank = 0;
+      for (const ScoredVertex& entry : result.top) {
+        if (++rank > 10) break;
+        const uint32_t d = bfs.Distance(entry.vertex);
+        if (d != kInfiniteDistance) {
+          top_distance += d;
+          ++top_counted;
+        }
+      }
+    }
+    const double q = static_cast<double>(queries.size());
+    table.AddRow(
+        {name,
+         spec->family == eval::DatasetFamily::kWeb ? "web" : "social",
+         FormatCount(graph.NumVertices()), FormatCount(graph.NumEdges()),
+         FormatDuration(seconds / q), FormatDouble(candidates / q, 4),
+         FormatDouble(refined / q, 4),
+         top_counted == 0
+             ? "-"
+             : FormatDouble(top_distance / static_cast<double>(top_counted),
+                            3)});
+  }
+  table.Print();
+  std::printf(
+      "\nreading: query cost tracks the local candidate structure, not the "
+      "edge count\n(compare per-edge costs). Note the caveat in "
+      "EXPERIMENTS.md: R-MAT reproduces web\ndegree skew but not the "
+      "host-level clustering of real crawls, so the paper's\nfull "
+      "web-beats-social gap only partially emerges on synthetic "
+      "analogs.\n");
+  return 0;
+}

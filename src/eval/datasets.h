@@ -1,0 +1,52 @@
+#ifndef SIMRANK_EVAL_DATASETS_H_
+#define SIMRANK_EVAL_DATASETS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace simrank::eval {
+
+/// Dataset families mirroring the paper's Table 2 corpus. Each family maps
+/// to a generator whose degree/locality structure matches the real network
+/// class (see DESIGN.md, "Substitutions").
+enum class DatasetFamily {
+  kCollaboration,  ///< ca-GrQc, ca-HepTh, dblp: BA model, mutual edges
+  kSocial,         ///< wiki-Vote, soc-*: skewed R-MAT with reciprocity
+  kWeb,            ///< web-*, in-2004, it-2004: skewed directed R-MAT
+  kCitation,       ///< Cora, cit-HepTh: copying model, directed acyclic
+  kRoad,           ///< high-diameter control: grid + shortcuts
+};
+
+/// Recipe for one synthetic dataset.
+struct DatasetSpec {
+  std::string name;            ///< e.g. "syn-ca-grqc"
+  std::string paper_analog;    ///< e.g. "ca-GrQc (n=5,242 m=14,496)"
+  DatasetFamily family;
+  Vertex target_vertices = 0;  ///< approximate n
+  uint64_t target_edges = 0;   ///< approximate m (directed arc count)
+  uint64_t seed = 0;
+};
+
+/// The registry of benchmark datasets, smallest first. `scale` multiplies
+/// every target size (1.0 reproduces the defaults; benches accept
+/// --scale to shrink or grow the corpus).
+std::vector<DatasetSpec> DatasetRegistry(double scale = 1.0);
+
+/// Looks up a spec by name (after scaling). Returns nullopt if absent.
+std::optional<DatasetSpec> FindDataset(const std::string& name,
+                                       double scale = 1.0);
+
+/// Materializes the dataset (deterministic in spec.seed).
+DirectedGraph Generate(const DatasetSpec& spec);
+
+/// Smallest datasets for which exact (dense all-pairs) ground truth is
+/// affordable: the corpus of Figure 1, Figure 2 and Table 3.
+std::vector<DatasetSpec> SmallDatasets(double scale = 1.0);
+
+}  // namespace simrank::eval
+
+#endif  // SIMRANK_EVAL_DATASETS_H_

@@ -1,0 +1,46 @@
+#ifndef SIMRANK_EVAL_METRICS_H_
+#define SIMRANK_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/top_k.h"
+
+namespace simrank::eval {
+
+/// Fraction of `truth`'s vertices present in `predicted` (the paper's
+/// Table 3 metric: "# of our high score vertices / # of the optimal high
+/// score vertices"). Returns 1.0 when truth is empty.
+double RecallOfSet(const std::vector<ScoredVertex>& predicted,
+                   const std::vector<ScoredVertex>& truth);
+
+/// Precision@k: fraction of the first k entries of `predicted` appearing in
+/// the first k of `truth`. Returns 1.0 when truth is empty.
+double PrecisionAtK(const std::vector<ScoredVertex>& predicted,
+                    const std::vector<ScoredVertex>& truth, uint32_t k);
+
+/// Kendall rank-correlation tau-a between the orderings that the two score
+/// lists induce on the vertices they share. Returns 1.0 when fewer than two
+/// vertices are shared.
+double KendallTau(const std::vector<ScoredVertex>& a,
+                  const std::vector<ScoredVertex>& b);
+
+/// Normalized discounted cumulative gain of `predicted` at rank k against
+/// graded relevance given by `truth` scores.
+double NdcgAtK(const std::vector<ScoredVertex>& predicted,
+               const std::vector<ScoredVertex>& truth, uint32_t k);
+
+/// Pearson correlation of log-scores over vertices present in both lists
+/// with strictly positive scores (Figure 1's "straight line of slope one in
+/// log-log plot" statistic). Returns 0 with fewer than two shared vertices.
+double LogLogCorrelation(const std::vector<ScoredVertex>& a,
+                         const std::vector<ScoredVertex>& b);
+
+/// Extracts the entries of `scores` (indexed by vertex) with score >=
+/// threshold, excluding `exclude`, sorted best-first.
+std::vector<ScoredVertex> HighScoreSet(const std::vector<double>& scores,
+                                       double threshold, uint32_t exclude);
+
+}  // namespace simrank::eval
+
+#endif  // SIMRANK_EVAL_METRICS_H_

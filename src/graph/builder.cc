@@ -1,0 +1,19 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace simrank {
+
+void GraphBuilder::Deduplicate(bool remove_self_loops) {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  if (remove_self_loops) {
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [](const Edge& e) { return e.from == e.to; }),
+                 edges_.end());
+  }
+}
+
+}  // namespace simrank

@@ -1,0 +1,55 @@
+#ifndef SIMRANK_GRAPH_BUILDER_H_
+#define SIMRANK_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace simrank {
+
+/// Mutable edge accumulator used by loaders and generators. Vertex ids grow
+/// the graph implicitly: adding edge (7, 3) to an empty builder yields an
+/// 8-vertex graph.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares at least `n` vertices (isolated until edges arrive).
+  void ReserveVertices(Vertex n) { num_vertices_ = std::max(num_vertices_, n); }
+
+  /// Hints the expected number of edges.
+  void ReserveEdges(size_t m) { edges_.reserve(m); }
+
+  /// Adds the directed edge from -> to.
+  void AddEdge(Vertex from, Vertex to) {
+    edges_.push_back({from, to});
+    num_vertices_ = std::max(num_vertices_, std::max(from, to) + 1);
+  }
+
+  /// Adds both from -> to and to -> from (how undirected datasets such as
+  /// collaboration networks are represented for SimRank).
+  void AddUndirectedEdge(Vertex a, Vertex b) {
+    AddEdge(a, b);
+    AddEdge(b, a);
+  }
+
+  Vertex NumVertices() const { return num_vertices_; }
+  size_t NumEdges() const { return edges_.size(); }
+
+  /// Removes duplicate edges and, optionally, self loops.
+  void Deduplicate(bool remove_self_loops = true);
+
+  /// Finalizes into an immutable CSR graph. The builder may be reused
+  /// afterwards (its edges are preserved).
+  DirectedGraph Build() const {
+    return DirectedGraph(num_vertices_, edges_);
+  }
+
+ private:
+  Vertex num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace simrank
+
+#endif  // SIMRANK_GRAPH_BUILDER_H_

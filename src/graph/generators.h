@@ -1,0 +1,83 @@
+#ifndef SIMRANK_GRAPH_GENERATORS_H_
+#define SIMRANK_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace simrank {
+
+// Deterministic synthetic graph generators. The benchmark harness uses these
+// as stand-ins for the paper's SNAP/LAW datasets (see DESIGN.md,
+// "Substitutions"): each real dataset family is mapped to a generator whose
+// degree and locality structure matches it. All generators are pure
+// functions of their arguments and the RNG state.
+
+/// Star ("claw") with `num_leaves` leaves, undirected (mutual edges).
+/// Vertex 0 is the center. This is the paper's Example 1 graph for
+/// num_leaves = 3.
+DirectedGraph MakeStar(Vertex num_leaves);
+
+/// Undirected path 0 - 1 - ... - (n-1).
+DirectedGraph MakePath(Vertex n);
+
+/// Cycle on n vertices; directed edges i -> (i+1) mod n, or mutual edges when
+/// `undirected`.
+DirectedGraph MakeCycle(Vertex n, bool undirected = true);
+
+/// Complete graph on n vertices (all ordered pairs, no self loops).
+DirectedGraph MakeComplete(Vertex n);
+
+/// rows x cols undirected grid.
+DirectedGraph MakeGrid(Vertex rows, Vertex cols);
+
+/// G(n, m) Erdős–Rényi: samples m uniform non-loop directed arcs (or m
+/// undirected edges, i.e. 2m arcs) and removes duplicates, so the final
+/// count is marginally below m at sparse densities.
+DirectedGraph MakeErdosRenyi(Vertex n, uint64_t m, Rng& rng,
+                             bool undirected = false);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+/// Undirected (mutual edges) — models collaboration networks (ca-GrQc,
+/// ca-HepTh, dblp).
+DirectedGraph MakeBarabasiAlbert(Vertex n, uint32_t edges_per_vertex,
+                                 Rng& rng);
+
+/// R-MAT / Kronecker sampler parameters. Defaults are the Graph500 web-like
+/// skew (a=0.57, b=0.19, c=0.19, d=0.05).
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  /// If true, every sampled arc is also added reversed (social-network-like
+  /// reciprocity); if false the graph stays directed (web-like).
+  bool undirected = false;
+  /// Noise added to the quadrant probabilities per level, which avoids the
+  /// artificial self-similarity of pure R-MAT.
+  double noise = 0.1;
+};
+
+/// Samples ~`m` edges over 2^scale vertices with R-MAT recursive quadrant
+/// splitting, then removes duplicates and self loops (so the final edge
+/// count is slightly below the requested m).
+DirectedGraph MakeRmat(uint32_t scale, uint64_t m, Rng& rng,
+                       const RmatParams& params = {});
+
+/// Watts–Strogatz small world: ring of n vertices, each linked to `k`
+/// nearest neighbours per side, each edge rewired with probability `beta`.
+/// Undirected.
+DirectedGraph MakeWattsStrogatz(Vertex n, uint32_t k, double beta, Rng& rng);
+
+/// Linear-growth copying model (Kleinberg et al.): vertex v > 0 picks a
+/// random earlier prototype; each of its `out_degree` citations copies one
+/// of the prototype's citations with probability `copy_prob`, else cites a
+/// uniform earlier vertex. Directed, acyclic — models citation networks
+/// (Cora, cit-HepTh).
+DirectedGraph MakeCopyingModel(Vertex n, uint32_t out_degree, double copy_prob,
+                               Rng& rng);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_GRAPH_GENERATORS_H_

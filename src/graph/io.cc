@@ -1,0 +1,177 @@
+#include "graph/io.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace simrank {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x53524b47'42494e31ULL;  // "SRKGBIN1"
+
+// Parses one edge line into (from, to). Returns false for blank lines.
+Status ParseLine(const char* line, size_t line_number, bool& has_edge,
+                 uint64_t& from, uint64_t& to) {
+  has_edge = false;
+  const char* p = line;
+  while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  if (*p == '\0' || *p == '\n') return Status::OK();
+  char* end = nullptr;
+  errno = 0;
+  from = std::strtoull(p, &end, 10);
+  if (end == p || errno == ERANGE) {
+    return Status::Corruption("line " + std::to_string(line_number) +
+                              ": expected source vertex id");
+  }
+  p = end;
+  while (*p == ' ' || *p == '\t') ++p;
+  errno = 0;
+  to = std::strtoull(p, &end, 10);
+  if (end == p || errno == ERANGE) {
+    return Status::Corruption("line " + std::to_string(line_number) +
+                              ": expected target vertex id");
+  }
+  if (from > 0xFFFFFFFEULL || to > 0xFFFFFFFEULL) {
+    return Status::OutOfRange("line " + std::to_string(line_number) +
+                              ": vertex id exceeds 32-bit range");
+  }
+  has_edge = true;
+  return Status::OK();
+}
+
+Result<DirectedGraph> ParseLines(const std::string& text,
+                                 const EdgeListOptions& options) {
+  GraphBuilder builder;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    ++line_number;
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Skip comment lines.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first != std::string::npos &&
+        options.comment_prefixes.find(line[first]) != std::string::npos) {
+      continue;
+    }
+    bool has_edge = false;
+    uint64_t from = 0, to = 0;
+    Status st = ParseLine(line.c_str(), line_number, has_edge, from, to);
+    if (!st.ok()) return st;
+    if (!has_edge) continue;
+    builder.AddEdge(static_cast<Vertex>(from), static_cast<Vertex>(to));
+    if (options.symmetrize) {
+      builder.AddEdge(static_cast<Vertex>(to), static_cast<Vertex>(from));
+    }
+  }
+  if (options.deduplicate) builder.Deduplicate();
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<DirectedGraph> ParseEdgeListText(const std::string& text,
+                                        const EdgeListOptions& options) {
+  return ParseLines(text, options);
+}
+
+Result<DirectedGraph> LoadEdgeListText(const std::string& path,
+                                       const EdgeListOptions& options) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) return Status::IoError("read error on " + path);
+  return ParseLines(text, options);
+}
+
+Status SaveEdgeListText(const DirectedGraph& graph, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::fprintf(file, "# simrank edge list: n=%u m=%llu\n", graph.NumVertices(),
+               static_cast<unsigned long long>(graph.NumEdges()));
+  for (Vertex u = 0; u < graph.NumVertices(); ++u) {
+    for (Vertex v : graph.OutNeighbors(u)) {
+      std::fprintf(file, "%u %u\n", u, v);
+    }
+  }
+  const bool write_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (write_error) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+Status SaveBinary(const DirectedGraph& graph, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  const uint64_t n = graph.NumVertices();
+  const uint64_t m = graph.NumEdges();
+  bool ok = std::fwrite(&kBinaryMagic, sizeof(kBinaryMagic), 1, file) == 1 &&
+            std::fwrite(&n, sizeof(n), 1, file) == 1 &&
+            std::fwrite(&m, sizeof(m), 1, file) == 1;
+  const std::vector<Edge> edges = graph.Edges();
+  if (ok && m > 0) {
+    ok = std::fwrite(edges.data(), sizeof(Edge), edges.size(), file) ==
+         edges.size();
+  }
+  std::fclose(file);
+  if (!ok) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+Result<DirectedGraph> LoadBinary(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  uint64_t magic = 0, n = 0, m = 0;
+  bool ok = std::fread(&magic, sizeof(magic), 1, file) == 1 &&
+            std::fread(&n, sizeof(n), 1, file) == 1 &&
+            std::fread(&m, sizeof(m), 1, file) == 1;
+  if (!ok || magic != kBinaryMagic) {
+    std::fclose(file);
+    return Status::Corruption(path + " is not a simrank binary graph");
+  }
+  if (n > 0xFFFFFFFEULL) {
+    std::fclose(file);
+    return Status::Corruption(path + ": vertex count out of range");
+  }
+  std::vector<Edge> edges(m);
+  if (m > 0 && std::fread(edges.data(), sizeof(Edge), m, file) != m) {
+    std::fclose(file);
+    return Status::Corruption(path + ": truncated edge array");
+  }
+  std::fclose(file);
+  for (const Edge& e : edges) {
+    if (e.from >= n || e.to >= n) {
+      return Status::Corruption(path + ": edge endpoint out of range");
+    }
+  }
+  return DirectedGraph(static_cast<Vertex>(n), edges);
+}
+
+}  // namespace simrank

@@ -1,0 +1,43 @@
+#ifndef SIMRANK_GRAPH_IO_H_
+#define SIMRANK_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace simrank {
+
+/// Options controlling edge-list parsing.
+struct EdgeListOptions {
+  /// Lines starting with any of these characters are skipped.
+  std::string comment_prefixes = "#%";
+  /// If true, each line "a b" also adds the reverse edge b -> a.
+  bool symmetrize = false;
+  /// If true, duplicate edges and self loops are removed after loading.
+  bool deduplicate = true;
+};
+
+/// Loads a whitespace-separated "src dst" edge list (the SNAP text format).
+/// Vertex ids must be non-negative integers; the vertex count is
+/// 1 + max id seen.
+Result<DirectedGraph> LoadEdgeListText(const std::string& path,
+                                       const EdgeListOptions& options = {});
+
+/// Parses an edge list from an in-memory string (same format as
+/// LoadEdgeListText; used by tests and small embedded datasets).
+Result<DirectedGraph> ParseEdgeListText(const std::string& text,
+                                        const EdgeListOptions& options = {});
+
+/// Writes "src dst" lines. Inverse of LoadEdgeListText.
+Status SaveEdgeListText(const DirectedGraph& graph, const std::string& path);
+
+/// Compact binary snapshot (magic, n, m, edge array). Loading is an order of
+/// magnitude faster than text parsing; used to cache generated benchmark
+/// graphs between runs.
+Status SaveBinary(const DirectedGraph& graph, const std::string& path);
+Result<DirectedGraph> LoadBinary(const std::string& path);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_GRAPH_IO_H_

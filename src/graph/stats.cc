@@ -1,0 +1,44 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+
+namespace simrank {
+
+GraphStats ComputeGraphStats(const DirectedGraph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  if (stats.num_vertices == 0) return stats;
+  stats.average_degree =
+      static_cast<double>(stats.num_edges) / stats.num_vertices;
+  uint64_t reciprocal = 0;
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+    if (graph.InDegree(v) == 0) ++stats.num_dangling;
+    for (Vertex w : graph.OutNeighbors(v)) {
+      if (w == v) ++stats.num_self_loops;
+      if (graph.HasEdge(w, v)) ++reciprocal;
+    }
+  }
+  if (stats.num_edges > 0) {
+    stats.reciprocity =
+        static_cast<double>(reciprocal) / static_cast<double>(stats.num_edges);
+  }
+  return stats;
+}
+
+std::string ToString(const GraphStats& stats) {
+  std::string out = "n=" + FormatCount(stats.num_vertices) +
+                    " m=" + FormatCount(stats.num_edges) +
+                    " avg_deg=" + FormatDouble(stats.average_degree, 3) +
+                    " max_out=" + FormatCount(stats.max_out_degree) +
+                    " max_in=" + FormatCount(stats.max_in_degree) +
+                    " dangling=" + FormatCount(stats.num_dangling) +
+                    " reciprocity=" + FormatDouble(stats.reciprocity, 3);
+  return out;
+}
+
+}  // namespace simrank

@@ -1,0 +1,34 @@
+#ifndef SIMRANK_GRAPH_STATS_H_
+#define SIMRANK_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace simrank {
+
+/// Summary statistics of a directed graph (the "n, m" columns of the
+/// paper's Table 2 plus structural context).
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  double average_degree = 0.0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  /// Vertices with no in-links: SimRank walks die immediately there.
+  uint64_t num_dangling = 0;
+  uint64_t num_self_loops = 0;
+  /// Fraction of edges whose reverse edge also exists.
+  double reciprocity = 0.0;
+};
+
+/// Computes GraphStats in one O(n + m) pass.
+GraphStats ComputeGraphStats(const DirectedGraph& graph);
+
+/// Human-readable one-line rendering, e.g. "n=5,242 m=28,992 d=5.5".
+std::string ToString(const GraphStats& stats);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_GRAPH_STATS_H_

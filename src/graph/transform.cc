@@ -1,0 +1,102 @@
+#include "graph/transform.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/traversal.h"
+
+namespace simrank {
+
+DirectedGraph ReverseGraph(const DirectedGraph& graph) {
+  GraphBuilder builder;
+  builder.ReserveVertices(graph.NumVertices());
+  builder.ReserveEdges(graph.NumEdges());
+  for (Vertex u = 0; u < graph.NumVertices(); ++u) {
+    for (Vertex v : graph.OutNeighbors(u)) builder.AddEdge(v, u);
+  }
+  return builder.Build();
+}
+
+InducedSubgraph ExtractInducedSubgraph(const DirectedGraph& graph,
+                                       std::span<const Vertex> vertices) {
+  InducedSubgraph result;
+  result.old_to_new.assign(graph.NumVertices(), kNoVertex);
+  for (Vertex v : vertices) {
+    SIMRANK_CHECK_LT(v, graph.NumVertices());
+    if (result.old_to_new[v] != kNoVertex) continue;  // duplicate
+    result.old_to_new[v] = static_cast<Vertex>(result.new_to_old.size());
+    result.new_to_old.push_back(v);
+  }
+  GraphBuilder builder;
+  builder.ReserveVertices(static_cast<Vertex>(result.new_to_old.size()));
+  for (Vertex new_u = 0; new_u < result.new_to_old.size(); ++new_u) {
+    const Vertex old_u = result.new_to_old[new_u];
+    for (Vertex old_v : graph.OutNeighbors(old_u)) {
+      const Vertex new_v = result.old_to_new[old_v];
+      if (new_v != kNoVertex) builder.AddEdge(new_u, new_v);
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+InducedSubgraph ExtractLargestComponent(const DirectedGraph& graph) {
+  if (graph.NumVertices() == 0) return InducedSubgraph{};
+  // Find the largest component's representative, then collect it.
+  BfsWorkspace workspace(graph);
+  std::vector<bool> assigned(graph.NumVertices(), false);
+  Vertex best_root = 0;
+  size_t best_size = 0;
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    if (assigned[v]) continue;
+    workspace.Run(v, EdgeDirection::kUndirected);
+    size_t size = 0;
+    for (Vertex w : workspace.Reached()) {
+      if (!assigned[w]) {
+        assigned[w] = true;
+        ++size;
+      }
+    }
+    if (size > best_size) {
+      best_size = size;
+      best_root = v;
+    }
+  }
+  workspace.Run(best_root, EdgeDirection::kUndirected);
+  std::vector<Vertex> members(workspace.Reached().begin(),
+                              workspace.Reached().end());
+  std::sort(members.begin(), members.end());  // stable, id-ordered labels
+  return ExtractInducedSubgraph(graph, members);
+}
+
+DirectedGraph PermuteVertices(const DirectedGraph& graph,
+                              std::span<const Vertex> permutation) {
+  SIMRANK_CHECK_EQ(permutation.size(), graph.NumVertices());
+  // Verify bijectivity (cheap and prevents silent corruption).
+  std::vector<bool> seen(graph.NumVertices(), false);
+  for (Vertex target : permutation) {
+    SIMRANK_CHECK_LT(target, graph.NumVertices());
+    SIMRANK_CHECK(!seen[target]);
+    seen[target] = true;
+  }
+  GraphBuilder builder;
+  builder.ReserveVertices(graph.NumVertices());
+  builder.ReserveEdges(graph.NumEdges());
+  for (Vertex u = 0; u < graph.NumVertices(); ++u) {
+    for (Vertex v : graph.OutNeighbors(u)) {
+      builder.AddEdge(permutation[u], permutation[v]);
+    }
+  }
+  return builder.Build();
+}
+
+std::vector<Vertex> RandomPermutation(Vertex n, Rng& rng) {
+  std::vector<Vertex> permutation(n);
+  for (Vertex v = 0; v < n; ++v) permutation[v] = v;
+  for (Vertex i = n; i > 1; --i) {  // Fisher-Yates
+    std::swap(permutation[i - 1], permutation[rng.UniformIndex(i)]);
+  }
+  return permutation;
+}
+
+}  // namespace simrank

@@ -1,0 +1,48 @@
+#ifndef SIMRANK_GRAPH_TRANSFORM_H_
+#define SIMRANK_GRAPH_TRANSFORM_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace simrank {
+
+/// Reverses every edge (u -> v becomes v -> u). SimRank on the reverse
+/// graph is the out-link variant ("rvs-SimRank" in the follow-up
+/// literature).
+DirectedGraph ReverseGraph(const DirectedGraph& graph);
+
+/// Result of a vertex-subset extraction: the induced subgraph plus the
+/// id mappings in both directions.
+struct InducedSubgraph {
+  DirectedGraph graph;
+  /// old_to_new[v] is the new id of old vertex v, or kNoVertex if v was
+  /// not selected.
+  std::vector<Vertex> old_to_new;
+  /// new_to_old[w] is the original id of new vertex w.
+  std::vector<Vertex> new_to_old;
+};
+
+/// Extracts the subgraph induced by `vertices` (duplicates ignored). New
+/// ids follow the order of first appearance in `vertices`.
+InducedSubgraph ExtractInducedSubgraph(const DirectedGraph& graph,
+                                       std::span<const Vertex> vertices);
+
+/// Extracts the largest weakly connected component. Useful for cleaning
+/// generated benchmark graphs (isolated fringe vertices answer no
+/// interesting similarity queries).
+InducedSubgraph ExtractLargestComponent(const DirectedGraph& graph);
+
+/// Relabels vertices by `permutation` (new id of v = permutation[v],
+/// which must be a bijection on [0, n)). SimRank is label-invariant, so
+/// scores must commute with this map — the property tests rely on it.
+DirectedGraph PermuteVertices(const DirectedGraph& graph,
+                              std::span<const Vertex> permutation);
+
+/// Uniformly random permutation of [0, n).
+std::vector<Vertex> RandomPermutation(Vertex n, Rng& rng);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_GRAPH_TRANSFORM_H_

@@ -1,0 +1,73 @@
+#ifndef SIMRANK_GRAPH_TRAVERSAL_H_
+#define SIMRANK_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace simrank {
+
+/// Distance value for unreachable vertices.
+inline constexpr uint32_t kInfiniteDistance = static_cast<uint32_t>(-1);
+
+/// Which adjacency a traversal follows.
+enum class EdgeDirection {
+  kOut,        ///< follow u -> v edges forward
+  kIn,         ///< follow edges backward (the SimRank walk direction)
+  kUndirected  ///< treat every edge as bidirectional (the distance metric
+               ///< used by the L1 bound and Figure 2)
+};
+
+/// Single-source BFS distances from `source`, truncated at `max_distance`
+/// (vertices farther away report kInfiniteDistance). O(n + m).
+std::vector<uint32_t> BfsDistances(const DirectedGraph& graph, Vertex source,
+                                   EdgeDirection direction,
+                                   uint32_t max_distance = kInfiniteDistance);
+
+/// Reusable BFS workspace for query loops: avoids the O(n) clear between
+/// BFS runs by epoch-stamping visited marks. Not thread-safe; use one per
+/// thread.
+class BfsWorkspace {
+ public:
+  explicit BfsWorkspace(const DirectedGraph& graph);
+
+  /// Runs BFS from `source` along `direction`, up to `max_distance`. The
+  /// result stays valid until the next Run on this workspace.
+  void Run(Vertex source, EdgeDirection direction,
+           uint32_t max_distance = kInfiniteDistance);
+
+  /// Distance of v from the last Run's source (kInfiniteDistance if not
+  /// reached within the cutoff).
+  uint32_t Distance(Vertex v) const {
+    return epoch_of_[v] == epoch_ ? distance_[v] : kInfiniteDistance;
+  }
+
+  /// Vertices reached by the last Run, in nondecreasing distance order
+  /// (BFS discovery order); the source itself is first.
+  const std::vector<Vertex>& Reached() const { return reached_; }
+
+ private:
+  const DirectedGraph& graph_;
+  std::vector<uint32_t> distance_;
+  std::vector<uint32_t> epoch_of_;
+  std::vector<Vertex> reached_;
+  uint32_t epoch_ = 0;
+};
+
+/// Number of weakly connected components and the size of the largest one.
+struct ComponentStats {
+  uint64_t num_components = 0;
+  uint64_t largest_size = 0;
+};
+ComponentStats WeaklyConnectedComponents(const DirectedGraph& graph);
+
+/// Unbiased estimate of the mean undirected distance between reachable
+/// vertex pairs, from `num_sources` sampled BFS runs (the blue baseline of
+/// Figure 2).
+double EstimateAverageDistance(const DirectedGraph& graph, uint32_t num_sources,
+                               Rng& rng);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,80 @@
+#include "simrank/all_pairs.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/timer.h"
+
+namespace simrank {
+
+AllPairsShard RunAllPairs(const TopKSearcher& searcher,
+                          const AllPairsOptions& options) {
+  SIMRANK_CHECK_GE(options.num_partitions, 1u);
+  SIMRANK_CHECK_LT(options.partition, options.num_partitions);
+  SIMRANK_CHECK(searcher.index_built());
+  WallTimer timer;
+  const Vertex n = searcher.graph().NumVertices();
+  AllPairsShard shard;
+  shard.partition = options.partition;
+  shard.num_partitions = options.num_partitions;
+  const size_t shard_size =
+      n > options.partition
+          ? (n - options.partition + options.num_partitions - 1) /
+                options.num_partitions
+          : 0;
+  shard.rankings.resize(shard_size);
+  std::atomic<uint64_t> completed{0};
+  // One workspace per chunk (workspaces reference the graph and must not
+  // outlive this call, so no thread-local caching).
+  auto run_range = [&](size_t lo, size_t hi) {
+    QueryWorkspace workspace(searcher);
+    for (size_t i = lo; i < hi; ++i) {
+      const Vertex v = shard.VertexAt(i);
+      shard.rankings[i] = searcher.Query(v, workspace).top;
+      const uint64_t done = completed.fetch_add(1) + 1;
+      if (options.progress != nullptr &&
+          done % options.progress_interval == 0) {
+        options.progress(done);
+      }
+    }
+  };
+  if (options.pool == nullptr || options.pool->num_threads() == 1 ||
+      shard_size == 0) {
+    run_range(0, shard_size);
+  } else {
+    const size_t num_chunks =
+        std::min<size_t>(shard_size, options.pool->num_threads() * 4);
+    const size_t chunk = (shard_size + num_chunks - 1) / num_chunks;
+    for (size_t lo = 0; lo < shard_size; lo += chunk) {
+      const size_t hi = std::min(lo + chunk, shard_size);
+      options.pool->Submit([&run_range, lo, hi] { run_range(lo, hi); });
+    }
+    options.pool->Wait();
+  }
+  shard.seconds = timer.ElapsedSeconds();
+  return shard;
+}
+
+Status WriteShardTsv(const AllPairsShard& shard, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  for (size_t i = 0; i < shard.rankings.size(); ++i) {
+    const Vertex query = shard.VertexAt(i);
+    for (const ScoredVertex& entry : shard.rankings[i]) {
+      std::fprintf(file, "%u\t%u\t%.10g\n", query, entry.vertex,
+                   entry.score);
+    }
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+}  // namespace simrank

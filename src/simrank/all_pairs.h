@@ -1,0 +1,61 @@
+#ifndef SIMRANK_SIMRANK_ALL_PAIRS_H_
+#define SIMRANK_SIMRANK_ALL_PAIRS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simrank/top_k_searcher.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace simrank {
+
+/// Configuration of a (possibly partitioned) all-vertices top-k run — the
+/// paper's "top-k search for all vertices" mode (§2.2). The computation is
+/// embarrassingly parallel over query vertices; `partition`/
+/// `num_partitions` carve the vertex range into M equal slices so that M
+/// machines (or M sequential invocations) each produce one shard, which is
+/// the paper's "if there are M machines, the running time is O(n^2/M)"
+/// deployment.
+struct AllPairsOptions {
+  /// This run computes queries for vertices v with
+  /// v % num_partitions == partition.
+  uint32_t partition = 0;
+  uint32_t num_partitions = 1;
+  /// Thread pool for intra-run parallelism; may be null (serial).
+  ThreadPool* pool = nullptr;
+  /// Invoked after every `progress_interval` completed queries (from an
+  /// unspecified thread) with the number completed so far; null disables.
+  std::function<void(uint64_t)> progress;
+  uint64_t progress_interval = 1024;
+};
+
+/// Result shard of an all-pairs run.
+struct AllPairsShard {
+  /// rankings[i] is the top-k list of the i-th vertex of this partition
+  /// (vertex id = partition + i * num_partitions).
+  std::vector<std::vector<ScoredVertex>> rankings;
+  uint32_t partition = 0;
+  uint32_t num_partitions = 1;
+  double seconds = 0.0;
+
+  /// Vertex id of rankings[i].
+  Vertex VertexAt(size_t i) const {
+    return static_cast<Vertex>(partition + i * num_partitions);
+  }
+};
+
+/// Runs top-k queries for every vertex of the shard. The searcher must be
+/// preprocessed (BuildIndex) already.
+AllPairsShard RunAllPairs(const TopKSearcher& searcher,
+                          const AllPairsOptions& options = {});
+
+/// Writes a shard as TSV lines "query<TAB>vertex<TAB>score", ranked
+/// best-first per query. Queries with no results emit no lines.
+Status WriteShardTsv(const AllPairsShard& shard, const std::string& path);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_ALL_PAIRS_H_

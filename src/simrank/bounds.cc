@@ -1,0 +1,237 @@
+#include "simrank/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simrank/monte_carlo.h"
+#include "util/counter.h"
+
+namespace simrank {
+
+double DistanceBound(double decay, uint32_t distance) {
+  if (distance == kInfiniteDistance) return 0.0;
+  return std::pow(decay, (distance + 1) / 2);
+}
+
+namespace {
+
+// Rows of the alpha table: walk positions live within undirected distance
+// num_steps-1 of the query, but Eq. (18) takes maxima over d' up to
+// d + t <= max_distance + num_steps - 1, so allocate enough rows that no
+// positive alpha mass is ever dropped (dropping it would make beta
+// undershoot, i.e. an invalid upper bound).
+uint32_t AlphaRows(const SimRankParams& params, uint32_t max_distance) {
+  return max_distance + params.num_steps + 1;
+}
+
+// Shared beta assembly from a filled alpha table (Eq. 18):
+// beta(d) = sum_t c^t max_{max(0,d-t) <= d' <= d+t} alpha[d'][t].
+std::vector<double> AssembleBeta(const std::vector<std::vector<double>>& alpha,
+                                 const SimRankParams& params,
+                                 uint32_t max_distance) {
+  const uint32_t steps = params.num_steps;
+  const uint32_t rows = static_cast<uint32_t>(alpha.size());
+  std::vector<double> beta(max_distance + 1, 0.0);
+  for (uint32_t d = 0; d <= max_distance; ++d) {
+    double sum = 0.0;
+    double decay_pow = 1.0;
+    for (uint32_t t = 0; t < steps; ++t) {
+      const uint32_t lo = d > t ? d - t : 0;
+      const uint32_t hi = std::min<uint32_t>(rows - 1, d + t);
+      double best = 0.0;
+      for (uint32_t dp = lo; dp <= hi; ++dp) {
+        best = std::max(best, alpha[dp][t]);
+      }
+      sum += decay_pow * best;
+      decay_pow *= params.decay;
+    }
+    beta[d] = sum;
+  }
+  return beta;
+}
+
+}  // namespace
+
+GammaTable GammaTable::BuildMonteCarlo(const DirectedGraph& graph,
+                                       const SimRankParams& params,
+                                       const std::vector<double>& diagonal,
+                                       uint32_t num_walks, uint64_t seed,
+                                       ThreadPool* pool) {
+  params.Validate();
+  SIMRANK_CHECK_EQ(diagonal.size(), graph.NumVertices());
+  SIMRANK_CHECK_GE(num_walks, 1u);
+  GammaTable table(graph.NumVertices(), params.num_steps, params.decay);
+  const double inv_walks_sq =
+      1.0 / (static_cast<double>(num_walks) * num_walks);
+  ParallelFor(pool, 0, graph.NumVertices(), [&](size_t u) {
+    // Independent stream per vertex so the build is deterministic for any
+    // thread count.
+    Rng rng(MixSeeds(seed, u));
+    WalkSet walks(graph, static_cast<Vertex>(u), num_walks);
+    WalkCounter counter(num_walks);
+    for (uint32_t t = 0; t < params.num_steps; ++t) {
+      counter.Clear();
+      for (Vertex position : walks.positions()) {
+        if (position != kNoVertex) counter.Add(position);
+      }
+      // mu = sum_w D_ww (count(w)/R)^2, gamma = sqrt(mu) (Algorithm 3).
+      double mu = 0.0;
+      counter.ForEach([&](Vertex w, uint32_t count) {
+        mu += diagonal[w] * static_cast<double>(count) * count;
+      });
+      table.values_[u * params.num_steps + t] =
+          static_cast<float>(std::sqrt(mu * inv_walks_sq));
+      if (t + 1 < params.num_steps) {
+        if (walks.AllDead()) break;  // remaining gammas stay 0
+        walks.Advance(rng);
+      }
+    }
+  });
+  return table;
+}
+
+GammaTable GammaTable::BuildExact(const DirectedGraph& graph,
+                                  const SimRankParams& params,
+                                  const std::vector<double>& diagonal,
+                                  ThreadPool* pool) {
+  params.Validate();
+  SIMRANK_CHECK_EQ(diagonal.size(), graph.NumVertices());
+  GammaTable table(graph.NumVertices(), params.num_steps, params.decay);
+  const Vertex n = graph.NumVertices();
+  ParallelFor(pool, 0, n, [&](size_t u) {
+    std::vector<double> current(n, 0.0), next(n, 0.0);
+    std::vector<Vertex> support, next_support;
+    current[u] = 1.0;
+    support.push_back(static_cast<Vertex>(u));
+    for (uint32_t t = 0; t < params.num_steps; ++t) {
+      double mu = 0.0;
+      for (Vertex w : support) mu += diagonal[w] * current[w] * current[w];
+      table.values_[u * params.num_steps + t] =
+          static_cast<float>(std::sqrt(mu));
+      if (t + 1 == params.num_steps) break;
+      for (Vertex w : next_support) next[w] = 0.0;
+      next_support.clear();
+      for (Vertex v : support) {
+        const auto in_v = graph.InNeighbors(v);
+        if (in_v.empty()) continue;
+        const double share = current[v] / static_cast<double>(in_v.size());
+        for (Vertex w : in_v) {
+          if (next[w] == 0.0) next_support.push_back(w);
+          next[w] += share;
+        }
+      }
+      current.swap(next);
+      support.swap(next_support);
+      if (support.empty()) break;
+    }
+  });
+  return table;
+}
+
+GammaTable GammaTable::FromData(Vertex num_vertices, uint32_t num_steps,
+                                double decay, std::vector<float> values) {
+  SIMRANK_CHECK_EQ(values.size(),
+                   static_cast<size_t>(num_vertices) * num_steps);
+  GammaTable table(num_vertices, num_steps, decay);
+  table.values_ = std::move(values);
+  return table;
+}
+
+double GammaTable::BoundAtDistance(Vertex u, Vertex v,
+                                   uint32_t distance) const {
+  SIMRANK_CHECK_LT(u, num_vertices_);
+  SIMRANK_CHECK_LT(v, num_vertices_);
+  const float* gu = values_.data() + static_cast<size_t>(u) * num_steps_;
+  const float* gv = values_.data() + static_cast<size_t>(v) * num_steps_;
+  // First step whose radius-t balls around u and v can intersect.
+  const uint32_t first_step = (distance + 1) / 2;
+  if (first_step >= num_steps_) return 0.0;
+  double sum = 0.0;
+  double decay_pow = std::pow(decay_, first_step);
+  for (uint32_t t = first_step; t < num_steps_; ++t) {
+    sum += decay_pow * static_cast<double>(gu[t]) * gv[t];
+    decay_pow *= decay_;
+  }
+  return sum;
+}
+
+std::vector<double> ComputeL1Beta(const DirectedGraph& graph,
+                                  const SimRankParams& params,
+                                  const std::vector<double>& diagonal,
+                                  Vertex query, uint32_t num_walks,
+                                  const BfsWorkspace& distances,
+                                  uint32_t max_distance, Rng& rng) {
+  params.Validate();
+  SIMRANK_CHECK_EQ(diagonal.size(), graph.NumVertices());
+  SIMRANK_CHECK_GE(num_walks, 1u);
+  const uint32_t steps = params.num_steps;
+  const uint32_t rows = AlphaRows(params, max_distance);
+  // alpha[d][t] per Eq. (17), estimated from the empirical measure of R
+  // walks (Algorithm 2).
+  std::vector<std::vector<double>> alpha(rows,
+                                         std::vector<double>(steps, 0.0));
+  WalkSet walks(graph, query, num_walks);
+  WalkCounter counter(num_walks);
+  const double inv_walks = 1.0 / static_cast<double>(num_walks);
+  for (uint32_t t = 0; t < steps; ++t) {
+    counter.Clear();
+    for (Vertex position : walks.positions()) {
+      if (position != kNoVertex) counter.Add(position);
+    }
+    counter.ForEach([&](Vertex w, uint32_t count) {
+      const uint32_t d = distances.Distance(w);
+      if (d >= rows) return;  // cannot affect beta(0..max_distance)
+      const double mass = diagonal[w] * count * inv_walks;
+      alpha[d][t] = std::max(alpha[d][t], mass);
+    });
+    if (t + 1 < steps) {
+      if (walks.AllDead()) break;
+      walks.Advance(rng);
+    }
+  }
+  return AssembleBeta(alpha, params, max_distance);
+}
+
+std::vector<double> ComputeL1BetaExact(const DirectedGraph& graph,
+                                       const SimRankParams& params,
+                                       const std::vector<double>& diagonal,
+                                       Vertex query,
+                                       const BfsWorkspace& distances,
+                                       uint32_t max_distance) {
+  params.Validate();
+  SIMRANK_CHECK_EQ(diagonal.size(), graph.NumVertices());
+  const uint32_t steps = params.num_steps;
+  const uint32_t rows = AlphaRows(params, max_distance);
+  const Vertex n = graph.NumVertices();
+  std::vector<std::vector<double>> alpha(rows,
+                                         std::vector<double>(steps, 0.0));
+  std::vector<double> current(n, 0.0), next(n, 0.0);
+  std::vector<Vertex> support, next_support;
+  current[query] = 1.0;
+  support.push_back(query);
+  for (uint32_t t = 0; t < steps; ++t) {
+    for (Vertex w : support) {
+      const uint32_t d = distances.Distance(w);
+      if (d >= rows) continue;
+      alpha[d][t] = std::max(alpha[d][t], diagonal[w] * current[w]);
+    }
+    if (t + 1 == steps) break;
+    for (Vertex w : next_support) next[w] = 0.0;
+    next_support.clear();
+    for (Vertex v : support) {
+      const auto in_v = graph.InNeighbors(v);
+      if (in_v.empty()) continue;
+      const double share = current[v] / static_cast<double>(in_v.size());
+      for (Vertex w : in_v) {
+        if (next[w] == 0.0) next_support.push_back(w);
+        next[w] += share;
+      }
+    }
+    current.swap(next);
+    support.swap(next_support);
+    if (support.empty()) break;
+  }
+  return AssembleBeta(alpha, params, max_distance);
+}
+
+}  // namespace simrank

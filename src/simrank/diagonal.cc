@@ -1,0 +1,128 @@
+#include "simrank/diagonal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simrank/monte_carlo.h"
+#include "util/counter.h"
+#include "util/rng.h"
+
+namespace simrank {
+
+namespace {
+
+// Exact r_k = sum_t c^t sum_w D_ww (P^t e_k)_w^2 by sparse propagation.
+double DiagonalScoreExact(const DirectedGraph& graph,
+                          const SimRankParams& params,
+                          const std::vector<double>& diagonal, Vertex k,
+                          std::vector<double>& scratch) {
+  std::vector<Vertex> support{k}, next_support;
+  std::vector<double> next(scratch.size(), 0.0);
+  scratch[k] = 1.0;
+  double score = 0.0;
+  double decay_pow = 1.0;
+  for (uint32_t t = 0; t < params.num_steps; ++t) {
+    double term = 0.0;
+    for (Vertex w : support) {
+      term += diagonal[w] * scratch[w] * scratch[w];
+    }
+    score += decay_pow * term;
+    decay_pow *= params.decay;
+    if (t + 1 == params.num_steps) break;
+    for (Vertex w : next_support) next[w] = 0.0;
+    next_support.clear();
+    for (Vertex v : support) {
+      const auto in_v = graph.InNeighbors(v);
+      if (in_v.empty()) continue;
+      const double share = scratch[v] / static_cast<double>(in_v.size());
+      for (Vertex w : in_v) {
+        if (next[w] == 0.0) next_support.push_back(w);
+        next[w] += share;
+      }
+    }
+    scratch.swap(next);
+    support.swap(next_support);
+    if (support.empty()) break;
+  }
+  for (Vertex w : support) scratch[w] = 0.0;
+  // `scratch` and `next` were swapped an unknown number of times; zero both
+  // supports so the caller's scratch is clean.
+  for (Vertex w : next_support) {
+    scratch[w] = 0.0;
+    next[w] = 0.0;
+  }
+  return score;
+}
+
+// Monte-Carlo r_k with R walks. Like Algorithm 3, the empirical squared
+// measure carries an O(1/R) positive bias; acceptable for the estimator's
+// purpose (the fixed point is insensitive to a uniform small inflation).
+double DiagonalScoreMonteCarlo(const DirectedGraph& graph,
+                               const SimRankParams& params,
+                               const std::vector<double>& diagonal, Vertex k,
+                               uint32_t num_walks, Rng& rng) {
+  WalkSet walks(graph, k, num_walks);
+  WalkCounter counter(num_walks);
+  const double inv_sq = 1.0 / (static_cast<double>(num_walks) * num_walks);
+  double score = 0.0;
+  double decay_pow = 1.0;
+  for (uint32_t t = 0; t < params.num_steps; ++t) {
+    counter.Clear();
+    for (Vertex position : walks.positions()) {
+      if (position != kNoVertex) counter.Add(position);
+    }
+    double term = 0.0;
+    counter.ForEach([&](Vertex w, uint32_t count) {
+      term += diagonal[w] * static_cast<double>(count) * count;
+    });
+    score += decay_pow * term * inv_sq;
+    decay_pow *= params.decay;
+    if (t + 1 < params.num_steps) {
+      if (walks.AllDead()) break;
+      walks.Advance(rng);
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+std::vector<double> EstimateDiagonalFixedPoint(
+    const DirectedGraph& graph, const SimRankParams& params,
+    const DiagonalEstimateOptions& options, ThreadPool* pool,
+    double* final_residual) {
+  params.Validate();
+  const Vertex n = graph.NumVertices();
+  const double damping =
+      options.damping > 0.0 ? options.damping : 1.0 - params.decay;
+  std::vector<double> diagonal(n, 1.0 - params.decay);
+  std::vector<double> residuals(n, 0.0);
+  double residual = 0.0;
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    ParallelFor(pool, 0, n, [&](size_t k) {
+      double score;
+      if (options.monte_carlo_walks > 0) {
+        Rng rng(MixSeeds(MixSeeds(options.seed, iter), k));
+        score = DiagonalScoreMonteCarlo(graph, params, diagonal,
+                                        static_cast<Vertex>(k),
+                                        options.monte_carlo_walks, rng);
+      } else {
+        std::vector<double> scratch(n, 0.0);
+        score = DiagonalScoreExact(graph, params, diagonal,
+                                   static_cast<Vertex>(k), scratch);
+      }
+      residuals[k] = 1.0 - score;
+    });
+    residual = 0.0;
+    for (Vertex k = 0; k < n; ++k) {
+      diagonal[k] =
+          std::clamp(diagonal[k] + damping * residuals[k], 0.0, 1.0);
+      residual = std::max(residual, std::abs(residuals[k]));
+    }
+    if (residual < options.tolerance) break;
+  }
+  if (final_residual != nullptr) *final_residual = residual;
+  return diagonal;
+}
+
+}  // namespace simrank

@@ -1,0 +1,120 @@
+#include "simrank/index.h"
+
+#include <algorithm>
+
+#include "util/counter.h"
+#include "util/rng.h"
+
+namespace simrank {
+
+namespace {
+
+// Runs Algorithm 4 for one vertex: appends the pivot positions selected by
+// witness-walk collisions to `out` (unsorted, may contain duplicates).
+void IndexOneVertex(const DirectedGraph& graph, const SimRankParams& params,
+                    const IndexParams& index_params, Vertex u, Rng& rng,
+                    std::vector<Vertex>& out) {
+  const uint32_t steps = params.num_steps;
+  const uint32_t q = index_params.witness_walks;
+  std::vector<Vertex> pivot(steps, kNoVertex);
+  std::vector<Vertex> witnesses(q);
+  WalkCounter collisions(q);
+  for (uint32_t rep = 0; rep < index_params.repetitions; ++rep) {
+    // Pivot walk W0: pivot[t] = position after t steps (t = 0 is u itself;
+    // the algorithm inspects t = 1..T-1, matching "for t = 1,...,T").
+    Vertex position = u;
+    pivot[0] = u;
+    for (uint32_t t = 1; t < steps; ++t) {
+      position = position == kNoVertex ? kNoVertex
+                                       : graph.RandomInNeighbor(position, rng);
+      pivot[t] = position;
+    }
+    // Witness walks W1..WQ advance in lock-step; a collision at step t
+    // (two witnesses on the same vertex) selects pivot[t].
+    std::fill(witnesses.begin(), witnesses.end(), u);
+    for (uint32_t t = 1; t < steps; ++t) {
+      collisions.Clear();
+      bool any_alive = false;
+      bool collided = false;
+      for (Vertex& w : witnesses) {
+        if (w == kNoVertex) continue;
+        w = graph.RandomInNeighbor(w, rng);
+        if (w == kNoVertex) continue;
+        any_alive = true;
+        collisions.Add(w);
+        if (collisions.Count(w) >= 2) collided = true;
+      }
+      if (collided && pivot[t] != kNoVertex) out.push_back(pivot[t]);
+      if (!any_alive) break;
+    }
+  }
+}
+
+}  // namespace
+
+CandidateIndex::CandidateIndex(const DirectedGraph& graph,
+                               const SimRankParams& params,
+                               const IndexParams& index_params, uint64_t seed,
+                               ThreadPool* pool)
+    : num_vertices_(graph.NumVertices()) {
+  params.Validate();
+  SIMRANK_CHECK_GE(index_params.repetitions, 1u);
+  SIMRANK_CHECK_GE(index_params.witness_walks, 2u);
+  const Vertex n = num_vertices_;
+  // Per-vertex hub lists (sorted + deduplicated), built in parallel with a
+  // deterministic per-vertex RNG stream.
+  std::vector<std::vector<Vertex>> per_vertex(n);
+  ParallelFor(pool, 0, n, [&](size_t u) {
+    Rng rng(MixSeeds(seed, u));
+    auto& hubs = per_vertex[u];
+    IndexOneVertex(graph, params, index_params, static_cast<Vertex>(u), rng,
+                   hubs);
+    std::sort(hubs.begin(), hubs.end());
+    hubs.erase(std::unique(hubs.begin(), hubs.end()), hubs.end());
+  });
+  // Flatten into the forward CSR.
+  hub_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    hub_offsets_[u + 1] = hub_offsets_[u] + per_vertex[u].size();
+  }
+  hubs_.resize(hub_offsets_[n]);
+  for (Vertex u = 0; u < n; ++u) {
+    std::copy(per_vertex[u].begin(), per_vertex[u].end(),
+              hubs_.begin() + static_cast<ptrdiff_t>(hub_offsets_[u]));
+    per_vertex[u].clear();
+    per_vertex[u].shrink_to_fit();
+  }
+  BuildInvertedCsr();
+}
+
+CandidateIndex CandidateIndex::FromCsr(Vertex num_vertices,
+                                       std::vector<uint64_t> hub_offsets,
+                                       std::vector<Vertex> hubs) {
+  SIMRANK_CHECK_EQ(hub_offsets.size(), static_cast<size_t>(num_vertices) + 1);
+  SIMRANK_CHECK_EQ(hub_offsets.front(), 0u);
+  SIMRANK_CHECK_EQ(hub_offsets.back(), hubs.size());
+  for (Vertex hub : hubs) SIMRANK_CHECK_LT(hub, num_vertices);
+  CandidateIndex index;
+  index.num_vertices_ = num_vertices;
+  index.hub_offsets_ = std::move(hub_offsets);
+  index.hubs_ = std::move(hubs);
+  index.BuildInvertedCsr();
+  return index;
+}
+
+void CandidateIndex::BuildInvertedCsr() {
+  const Vertex n = num_vertices_;
+  member_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (Vertex hub : hubs_) ++member_offsets_[hub + 1];
+  for (Vertex h = 0; h < n; ++h) member_offsets_[h + 1] += member_offsets_[h];
+  members_.resize(hubs_.size());
+  std::vector<uint64_t> cursor(member_offsets_.begin(),
+                               member_offsets_.end() - 1);
+  for (Vertex u = 0; u < n; ++u) {
+    for (uint64_t i = hub_offsets_[u]; i < hub_offsets_[u + 1]; ++i) {
+      members_[cursor[hubs_[i]]++] = u;
+    }
+  }
+}
+
+}  // namespace simrank

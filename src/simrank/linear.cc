@@ -1,0 +1,126 @@
+#include "simrank/linear.h"
+
+namespace simrank {
+
+LinearSimRank::LinearSimRank(const DirectedGraph& graph,
+                             const SimRankParams& params,
+                             std::vector<double> diagonal)
+    : graph_(graph), params_(params), diagonal_(std::move(diagonal)) {
+  params_.Validate();
+  SIMRANK_CHECK_EQ(diagonal_.size(), graph.NumVertices());
+}
+
+void LinearSimRank::Propagate(const Distribution& current,
+                              Distribution& next) const {
+  next.Clear();
+  for (Vertex v : current.support) {
+    const auto in_v = graph_.InNeighbors(v);
+    if (in_v.empty()) continue;  // the walk dies at dangling vertices
+    const double share =
+        current.value[v] / static_cast<double>(in_v.size());
+    for (Vertex w : in_v) {
+      if (next.value[w] == 0.0) next.support.push_back(w);
+      next.value[w] += share;
+    }
+  }
+}
+
+double LinearSimRank::SinglePair(Vertex u, Vertex v) const {
+  const size_t n = graph_.NumVertices();
+  SIMRANK_CHECK_LT(u, n);
+  SIMRANK_CHECK_LT(v, n);
+  Distribution x(n), y(n), x_next(n), y_next(n);
+  x.value[u] = 1.0;
+  x.support.push_back(u);
+  y.value[v] = 1.0;
+  y.support.push_back(v);
+  double score = 0.0;
+  double decay_pow = 1.0;
+  for (uint32_t t = 0; t < params_.num_steps; ++t) {
+    // term = c^t * x^T D y, iterating the smaller support.
+    const Distribution& small = x.support.size() <= y.support.size() ? x : y;
+    const Distribution& large = x.support.size() <= y.support.size() ? y : x;
+    double term = 0.0;
+    for (Vertex w : small.support) {
+      term += small.value[w] * diagonal_[w] * large.value[w];
+    }
+    score += decay_pow * term;
+    decay_pow *= params_.decay;
+    if (t + 1 < params_.num_steps) {
+      Propagate(x, x_next);
+      x.value.swap(x_next.value);
+      x.support.swap(x_next.support);
+      Propagate(y, y_next);
+      y.value.swap(y_next.value);
+      y.support.swap(y_next.support);
+      if (x.support.empty() || y.support.empty()) break;
+    }
+  }
+  return score;
+}
+
+std::vector<double> LinearSimRank::SingleSource(Vertex u) const {
+  const size_t n = graph_.NumVertices();
+  SIMRANK_CHECK_LT(u, n);
+  const uint32_t steps = params_.num_steps;
+  // Forward pass: record z_t = D .* (P^t e_u) for every t.
+  std::vector<std::vector<std::pair<Vertex, double>>> weighted(steps);
+  {
+    Distribution x(n), x_next(n);
+    x.value[u] = 1.0;
+    x.support.push_back(u);
+    for (uint32_t t = 0; t < steps; ++t) {
+      auto& z = weighted[t];
+      z.reserve(x.support.size());
+      for (Vertex w : x.support) {
+        z.emplace_back(w, diagonal_[w] * x.value[w]);
+      }
+      if (t + 1 < steps) {
+        Propagate(x, x_next);
+        x.value.swap(x_next.value);
+        x.support.swap(x_next.support);
+        if (x.support.empty()) break;
+      }
+    }
+  }
+  // Backward Horner pass: w <- z_t + c P^T w, so that after t = 0 the
+  // accumulator equals sum_t c^t (P^T)^t z_t, whose v-entry is s^(T)(u,v).
+  std::vector<double> acc(n, 0.0);
+  std::vector<double> pulled(n, 0.0);
+  for (uint32_t t = steps; t-- > 0;) {
+    if (t + 1 < steps) {
+      // pulled = P^T acc: pulled(j) = mean of acc over I(j).
+      for (Vertex j = 0; j < n; ++j) {
+        const auto in_j = graph_.InNeighbors(j);
+        if (in_j.empty()) {
+          pulled[j] = 0.0;
+          continue;
+        }
+        double sum = 0.0;
+        for (Vertex i : in_j) sum += acc[i];
+        pulled[j] = sum / static_cast<double>(in_j.size());
+      }
+      for (Vertex j = 0; j < n; ++j) acc[j] = params_.decay * pulled[j];
+    }
+    for (const auto& [w, weight] : weighted[t]) acc[w] += weight;
+  }
+  return acc;
+}
+
+std::vector<ScoredVertex> LinearSimRank::TopK(Vertex u, uint32_t k,
+                                               double threshold) const {
+  const std::vector<double> row = SingleSource(u);
+  TopKCollector collector(k);
+  for (size_t v = 0; v < row.size(); ++v) {
+    if (v != u && row[v] >= threshold && row[v] > 0.0) {
+      collector.Push(static_cast<Vertex>(v), row[v]);
+    }
+  }
+  return collector.TakeSorted();
+}
+
+std::vector<double> UniformDiagonal(Vertex num_vertices, double decay) {
+  return std::vector<double>(num_vertices, 1.0 - decay);
+}
+
+}  // namespace simrank

@@ -1,0 +1,105 @@
+#include "simrank/monte_carlo.h"
+
+#include <cmath>
+
+namespace simrank {
+
+WalkSet::WalkSet(const DirectedGraph& graph, Vertex origin, uint32_t num_walks)
+    : graph_(graph),
+      positions_(num_walks, origin),
+      live_count_(num_walks) {
+  SIMRANK_CHECK_LT(origin, graph.NumVertices());
+}
+
+void WalkSet::Advance(Rng& rng) {
+  for (Vertex& position : positions_) {
+    if (position == kNoVertex) continue;
+    position = graph_.RandomInNeighbor(position, rng);
+    if (position == kNoVertex) --live_count_;
+  }
+}
+
+WalkProfile::WalkProfile(const DirectedGraph& graph,
+                         const SimRankParams& params, Vertex origin,
+                         uint32_t num_walks, Rng& rng)
+    : origin_(origin), num_walks_(num_walks) {
+  params.Validate();
+  SIMRANK_CHECK_GE(num_walks, 1u);
+  steps_.reserve(params.num_steps);
+  WalkSet walks(graph, origin, num_walks);
+  for (uint32_t t = 0; t < params.num_steps; ++t) {
+    WalkCounter counter(num_walks);
+    for (Vertex position : walks.positions()) {
+      if (position != kNoVertex) counter.Add(position);
+    }
+    steps_.push_back(std::move(counter));
+    if (t + 1 < params.num_steps) {
+      if (walks.AllDead()) {
+        // Remaining steps have empty measures.
+        steps_.resize(params.num_steps, WalkCounter(1));
+        break;
+      }
+      walks.Advance(rng);
+    }
+  }
+}
+
+MonteCarloSimRank::MonteCarloSimRank(const DirectedGraph& graph,
+                                     const SimRankParams& params,
+                                     std::vector<double> diagonal)
+    : graph_(graph), params_(params), diagonal_(std::move(diagonal)) {
+  params_.Validate();
+  SIMRANK_CHECK_EQ(diagonal_.size(), graph.NumVertices());
+}
+
+double MonteCarloSimRank::SinglePair(Vertex u, Vertex v, uint32_t num_walks,
+                                     Rng& rng) const {
+  const WalkProfile profile(graph_, params_, u, num_walks, rng);
+  return EstimateAgainstProfile(profile, v, num_walks, rng);
+}
+
+double MonteCarloSimRank::EstimateAgainstProfile(const WalkProfile& profile,
+                                                 Vertex v, uint32_t num_walks,
+                                                 Rng& rng) const {
+  SIMRANK_CHECK_GE(num_walks, 1u);
+  SIMRANK_CHECK_LT(v, graph_.NumVertices());
+  const double normalizer =
+      1.0 / (static_cast<double>(profile.num_walks()) *
+             static_cast<double>(num_walks));
+  WalkSet walks(graph_, v, num_walks);
+  double score = 0.0;
+  double decay_pow = 1.0;
+  const uint32_t steps = params_.num_steps;
+  for (uint32_t t = 0; t < steps; ++t) {
+    // sum_w c^t D_ww alpha(w) beta(w) / (R_u R_v), Eq. (14): iterate this
+    // endpoint's walks one by one (each contributes beta-weight 1).
+    double term = 0.0;
+    for (Vertex position : walks.positions()) {
+      if (position == kNoVertex) continue;
+      const uint32_t alpha = profile.CountAt(t, position);
+      if (alpha != 0) term += diagonal_[position] * alpha;
+    }
+    score += decay_pow * term * normalizer;
+    decay_pow *= params_.decay;
+    if (t + 1 < steps) {
+      if (walks.AllDead()) break;
+      walks.Advance(rng);
+    }
+  }
+  return score;
+}
+
+uint32_t MonteCarloSimRank::RequiredSamples(const SimRankParams& params,
+                                            uint64_t n, double epsilon,
+                                            double delta) {
+  SIMRANK_CHECK_GT(epsilon, 0.0);
+  SIMRANK_CHECK_GT(delta, 0.0);
+  const double one_minus_c = 1.0 - params.decay;
+  const double samples =
+      2.0 * one_minus_c * one_minus_c *
+      std::log(4.0 * static_cast<double>(n) * params.num_steps / delta) /
+      (epsilon * epsilon);
+  return samples < 1.0 ? 1u : static_cast<uint32_t>(std::ceil(samples));
+}
+
+}  // namespace simrank

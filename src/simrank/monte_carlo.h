@@ -1,0 +1,116 @@
+#ifndef SIMRANK_SIMRANK_MONTE_CARLO_H_
+#define SIMRANK_SIMRANK_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "simrank/params.h"
+#include "util/counter.h"
+#include "util/rng.h"
+
+namespace simrank {
+
+/// A set of R in-link random walks advancing in lock-step. Walks that reach
+/// a vertex without in-links die (position kNoVertex) — their P-column is
+/// zero.
+class WalkSet {
+ public:
+  /// Starts `num_walks` walks at `origin`.
+  WalkSet(const DirectedGraph& graph, Vertex origin, uint32_t num_walks);
+
+  /// Advances every live walk one step (uniform random in-neighbor).
+  void Advance(Rng& rng);
+
+  /// Current positions; dead walks report kNoVertex.
+  const std::vector<Vertex>& positions() const { return positions_; }
+
+  uint32_t num_walks() const {
+    return static_cast<uint32_t>(positions_.size());
+  }
+
+  /// True once every walk has died.
+  bool AllDead() const { return live_count_ == 0; }
+
+ private:
+  const DirectedGraph& graph_;
+  std::vector<Vertex> positions_;
+  uint32_t live_count_;
+};
+
+/// Position histogram of one endpoint's walks at every step t = 0..T-1:
+/// the empirical measure approximating P^t e_u. Building it costs O(T R);
+/// once built, any candidate v can be scored against it with its own walks
+/// (Algorithm 1's inner product (14)), which is how the query phase shares
+/// the query vertex's walks across all candidates.
+class WalkProfile {
+ public:
+  /// Runs `num_walks` walks of `params.num_steps` steps from `origin`.
+  WalkProfile(const DirectedGraph& graph, const SimRankParams& params,
+              Vertex origin, uint32_t num_walks, Rng& rng);
+
+  uint32_t num_walks() const { return num_walks_; }
+  uint32_t num_steps() const { return static_cast<uint32_t>(steps_.size()); }
+  Vertex origin() const { return origin_; }
+
+  /// Number of the profile's walks located at `w` after `t` steps.
+  uint32_t CountAt(uint32_t t, Vertex w) const {
+    return steps_[t].Count(w);
+  }
+
+  /// Iterates (vertex, count) pairs of step t.
+  template <typename Fn>
+  void ForEachAt(uint32_t t, Fn&& fn) const {
+    steps_[t].ForEach(fn);
+  }
+
+ private:
+  Vertex origin_;
+  uint32_t num_walks_;
+  std::vector<WalkCounter> steps_;
+};
+
+/// Monte-Carlo single-pair SimRank (Algorithm 1): estimates the truncated
+/// linear-formulation score (13)
+///
+///   s^(T)(u,v) = sum_t c^t E[e_{u^(t)}]^T D E[e_{v^(t)}]
+///
+/// by the product of empirical measures of two *independent* walk sets.
+/// O(T R) per pair after O(T R) walk generation — independent of graph
+/// size, the key scalability property (§4).
+class MonteCarloSimRank {
+ public:
+  /// `diagonal` is the correction vector D (one entry per vertex).
+  MonteCarloSimRank(const DirectedGraph& graph, const SimRankParams& params,
+                    std::vector<double> diagonal);
+
+  const SimRankParams& params() const { return params_; }
+
+  /// Full Algorithm 1: R walks from u, R walks from v, collision-weighted
+  /// sum. Returns an unbiased estimate of s^(T)(u, v) for u != v.
+  double SinglePair(Vertex u, Vertex v, uint32_t num_walks, Rng& rng) const;
+
+  /// Builds the query vertex's reusable profile.
+  WalkProfile BuildProfile(Vertex u, uint32_t num_walks, Rng& rng) const {
+    return WalkProfile(graph_, params_, u, num_walks, rng);
+  }
+
+  /// Scores candidate v against a prebuilt profile using `num_walks` fresh
+  /// walks from v. Cost O(T * num_walks).
+  double EstimateAgainstProfile(const WalkProfile& profile, Vertex v,
+                                uint32_t num_walks, Rng& rng) const;
+
+  /// Sample count for accuracy epsilon with failure probability delta
+  /// (Corollary 1): R = 2 (1-c)^2 log(4 n T / delta) / epsilon^2.
+  static uint32_t RequiredSamples(const SimRankParams& params, uint64_t n,
+                                  double epsilon, double delta);
+
+ private:
+  const DirectedGraph& graph_;
+  SimRankParams params_;
+  std::vector<double> diagonal_;
+};
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_MONTE_CARLO_H_

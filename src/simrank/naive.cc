@@ -1,0 +1,97 @@
+#include "simrank/naive.h"
+
+namespace simrank {
+
+DenseMatrix ComputeSimRankNaive(const DirectedGraph& graph,
+                                const SimRankParams& params) {
+  params.Validate();
+  const size_t n = graph.NumVertices();
+  DenseMatrix current(n, 0.0);
+  for (size_t i = 0; i < n; ++i) current.At(i, i) = 1.0;
+  DenseMatrix next(n, 0.0);
+  for (uint32_t iter = 0; iter < params.num_steps; ++iter) {
+    for (Vertex u = 0; u < n; ++u) {
+      const auto in_u = graph.InNeighbors(u);
+      next.At(u, u) = 1.0;
+      for (Vertex v = u + 1; v < n; ++v) {
+        const auto in_v = graph.InNeighbors(v);
+        double sum = 0.0;
+        if (!in_u.empty() && !in_v.empty()) {
+          for (Vertex a : in_u) {
+            const double* row = current.Row(a);
+            for (Vertex b : in_v) sum += row[b];
+          }
+          sum *= params.decay /
+                 (static_cast<double>(in_u.size()) *
+                  static_cast<double>(in_v.size()));
+        }
+        next.At(u, v) = sum;
+        next.At(v, u) = sum;
+      }
+    }
+    current.Swap(next);
+  }
+  return current;
+}
+
+DenseMatrix SimRankIterationStep(const DirectedGraph& graph,
+                                 const DenseMatrix& scores, double decay) {
+  const size_t n = graph.NumVertices();
+  SIMRANK_CHECK_EQ(scores.n(), n);
+  // A = S P, where P's column j is the uniform distribution over I(j):
+  // A(u, j) = (1/|I(j)|) sum_{w in I(j)} S(u, w).
+  DenseMatrix right(n, 0.0);
+  for (size_t u = 0; u < n; ++u) {
+    const double* s_row = scores.Row(u);
+    double* a_row = right.Row(u);
+    for (Vertex j = 0; j < n; ++j) {
+      const auto in_j = graph.InNeighbors(j);
+      if (in_j.empty()) continue;
+      double sum = 0.0;
+      for (Vertex w : in_j) sum += s_row[w];
+      a_row[j] = sum / static_cast<double>(in_j.size());
+    }
+  }
+  // result = c P^T A with diagonal forced to 1:
+  // result(i, j) = c (1/|I(i)|) sum_{w in I(i)} A(w, j).
+  DenseMatrix result(n, 0.0);
+  for (Vertex i = 0; i < n; ++i) {
+    const auto in_i = graph.InNeighbors(i);
+    double* out_row = result.Row(i);
+    if (!in_i.empty()) {
+      const double scale = decay / static_cast<double>(in_i.size());
+      for (Vertex w : in_i) {
+        const double* a_row = right.Row(w);
+        for (size_t j = 0; j < n; ++j) out_row[j] += a_row[j];
+      }
+      for (size_t j = 0; j < n; ++j) out_row[j] *= scale;
+    }
+    out_row[i] = 1.0;
+  }
+  return result;
+}
+
+std::vector<double> ExactDiagonalCorrection(const DirectedGraph& graph,
+                                            const DenseMatrix& scores,
+                                            const SimRankParams& params) {
+  const size_t n = graph.NumVertices();
+  SIMRANK_CHECK_EQ(scores.n(), n);
+  // D_uu = S_uu - c (P e_u)^T S (P e_u)
+  //      = 1 - c / |I(u)|^2 * sum_{a,b in I(u)} S(a, b).
+  std::vector<double> diagonal(n, 1.0);
+  for (Vertex u = 0; u < n; ++u) {
+    const auto in_u = graph.InNeighbors(u);
+    if (in_u.empty()) continue;
+    double sum = 0.0;
+    for (Vertex a : in_u) {
+      const double* row = scores.Row(a);
+      for (Vertex b : in_u) sum += row[b];
+    }
+    diagonal[u] = 1.0 - params.decay * sum /
+                            (static_cast<double>(in_u.size()) *
+                             static_cast<double>(in_u.size()));
+  }
+  return diagonal;
+}
+
+}  // namespace simrank

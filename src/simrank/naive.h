@@ -1,0 +1,40 @@
+#ifndef SIMRANK_SIMRANK_NAIVE_H_
+#define SIMRANK_SIMRANK_NAIVE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "simrank/dense_matrix.h"
+#include "simrank/params.h"
+
+namespace simrank {
+
+/// Naive all-pairs SimRank (Jeh & Widom [13]): iterates the defining
+/// recursion (1)
+///
+///   S_0 = I,
+///   S_{k+1}(u,v) = c / (|I(u)||I(v)|) * sum_{u' in I(u), v' in I(v)}
+///                  S_k(u',v'),   S_{k+1}(u,u) = 1,
+///
+/// for `params.num_steps` iterations. O(T d^2 n^2) time, O(n^2) space.
+/// This is the reference oracle every other algorithm is validated against;
+/// use it only on small graphs.
+DenseMatrix ComputeSimRankNaive(const DirectedGraph& graph,
+                                const SimRankParams& params);
+
+/// Extracts the exact diagonal correction matrix D = diag(S - c P^T S P)
+/// of the linear formulation (5) from a converged SimRank matrix S
+/// (Proposition 1's explicit construction). Every entry lies in [1-c, 1]
+/// (Proposition 2).
+std::vector<double> ExactDiagonalCorrection(const DirectedGraph& graph,
+                                            const DenseMatrix& scores,
+                                            const SimRankParams& params);
+
+/// Applies the SimRank map once: returns c P^T S P with the diagonal reset
+/// to 1 (the V I of Eq. (4)). Exposed for convergence tests.
+DenseMatrix SimRankIterationStep(const DirectedGraph& graph,
+                                 const DenseMatrix& scores, double decay);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_NAIVE_H_

@@ -1,0 +1,66 @@
+#include "simrank/p_rank.h"
+
+namespace simrank {
+
+namespace {
+
+// Adds weight * (c / (|N(i)| |N(j)|)) sum_{a in N(i), b in N(j)} S(a,b)
+// into `next`, where N is the in- or out-neighborhood. Uses the two-stage
+// partial-sums product, O(n m) per call.
+void AccumulateSide(const DirectedGraph& graph, const DenseMatrix& scores,
+                    bool in_side, double weight, DenseMatrix& next) {
+  const size_t n = graph.NumVertices();
+  if (weight == 0.0) return;
+  auto neighbors = [&](Vertex v) {
+    return in_side ? graph.InNeighbors(v) : graph.OutNeighbors(v);
+  };
+  // Stage 1: A(u, j) = avg_{b in N(j)} S(u, b).
+  DenseMatrix partial(n, 0.0);
+  for (size_t u = 0; u < n; ++u) {
+    const double* s_row = scores.Row(u);
+    double* a_row = partial.Row(u);
+    for (Vertex j = 0; j < n; ++j) {
+      const auto nbrs = neighbors(j);
+      if (nbrs.empty()) continue;
+      double sum = 0.0;
+      for (Vertex b : nbrs) sum += s_row[b];
+      a_row[j] = sum / static_cast<double>(nbrs.size());
+    }
+  }
+  // Stage 2: next(i, j) += weight * avg_{a in N(i)} A(a, j).
+  for (Vertex i = 0; i < n; ++i) {
+    const auto nbrs = neighbors(i);
+    if (nbrs.empty()) continue;
+    const double scale = weight / static_cast<double>(nbrs.size());
+    double* out_row = next.Row(i);
+    for (Vertex a : nbrs) {
+      const double* a_row = partial.Row(a);
+      for (size_t j = 0; j < n; ++j) out_row[j] += scale * a_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+DenseMatrix ComputePRank(const DirectedGraph& graph,
+                         const PRankParams& params) {
+  params.simrank.Validate();
+  SIMRANK_CHECK_GE(params.lambda, 0.0);
+  SIMRANK_CHECK_LE(params.lambda, 1.0);
+  const size_t n = graph.NumVertices();
+  const double c = params.simrank.decay;
+  DenseMatrix current(n, 0.0);
+  for (size_t i = 0; i < n; ++i) current.At(i, i) = 1.0;
+  for (uint32_t iter = 0; iter < params.simrank.num_steps; ++iter) {
+    DenseMatrix next(n, 0.0);
+    AccumulateSide(graph, current, /*in_side=*/true, params.lambda * c,
+                   next);
+    AccumulateSide(graph, current, /*in_side=*/false,
+                   (1.0 - params.lambda) * c, next);
+    for (size_t i = 0; i < n; ++i) next.At(i, i) = 1.0;
+    current.Swap(next);
+  }
+  return current;
+}
+
+}  // namespace simrank

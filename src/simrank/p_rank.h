@@ -1,0 +1,35 @@
+#ifndef SIMRANK_SIMRANK_P_RANK_H_
+#define SIMRANK_SIMRANK_P_RANK_H_
+
+#include "graph/graph.h"
+#include "simrank/dense_matrix.h"
+#include "simrank/params.h"
+
+namespace simrank {
+
+/// P-Rank (Zhao, Han, Sun — CIKM'09), one of the related structural
+/// similarity measures the paper's intro surveys (§1.1): it generalizes
+/// SimRank by blending in-link and out-link evidence,
+///
+///   s(u,v) = lambda  * c * avg_{u' in I(u), v' in I(v)} s(u',v')
+///          + (1-lambda) * c * avg_{u' in O(u), v' in O(v)} s(u',v'),
+///   s(u,u) = 1,
+///
+/// where lambda = 1 recovers SimRank exactly and lambda = 0 is the pure
+/// out-link ("rvs-SimRank") variant. Implemented as an exact all-pairs
+/// iteration (O(T n m) via the partial-sums product), as an extension and
+/// cross-check of the core library.
+struct PRankParams {
+  SimRankParams simrank;
+  /// Weight of the in-link term; in [0, 1].
+  double lambda = 0.5;
+};
+
+/// Exact all-pairs P-Rank after params.simrank.num_steps iterations.
+/// O(n^2) space; small graphs only.
+DenseMatrix ComputePRank(const DirectedGraph& graph,
+                         const PRankParams& params);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_P_RANK_H_

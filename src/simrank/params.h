@@ -1,0 +1,47 @@
+#ifndef SIMRANK_SIMRANK_PARAMS_H_
+#define SIMRANK_SIMRANK_PARAMS_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace simrank {
+
+/// Core SimRank parameters shared by every algorithm in the library.
+/// Defaults follow the paper's experimental setup (§8): decay factor
+/// c = 0.6 and T = 11 series terms.
+struct SimRankParams {
+  /// Decay factor c in (0, 1). Jeh & Widom use 0.8; Lizorkin et al. and
+  /// this paper use 0.6.
+  double decay = 0.6;
+
+  /// Number of terms T of the truncated series (9); equivalently the length
+  /// of each random walk. The truncation error is at most c^T / (1 - c)
+  /// (Eq. (10)).
+  uint32_t num_steps = 11;
+
+  void Validate() const {
+    SIMRANK_CHECK_GT(decay, 0.0);
+    SIMRANK_CHECK_LT(decay, 1.0);
+    SIMRANK_CHECK_GE(num_steps, 1u);
+  }
+
+  /// Upper bound on s(u,v) - s^(T)(u,v) from Eq. (10).
+  double TruncationError() const {
+    return std::pow(decay, num_steps) / (1.0 - decay);
+  }
+
+  /// Number of terms needed for truncation error <= epsilon (Eq. (10)
+  /// solved for T).
+  static uint32_t StepsForAccuracy(double decay, double epsilon) {
+    SIMRANK_CHECK_GT(epsilon, 0.0);
+    const double t =
+        std::ceil(std::log(epsilon * (1.0 - decay)) / std::log(decay));
+    return t < 1.0 ? 1u : static_cast<uint32_t>(t);
+  }
+};
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_PARAMS_H_

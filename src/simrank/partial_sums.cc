@@ -1,0 +1,30 @@
+#include "simrank/partial_sums.h"
+
+#include "simrank/naive.h"
+
+namespace simrank {
+
+DenseMatrix ComputeSimRankPartialSums(const DirectedGraph& graph,
+                                      const SimRankParams& params,
+                                      double* max_diff_out) {
+  params.Validate();
+  const size_t n = graph.NumVertices();
+  DenseMatrix current(n, 0.0);
+  for (size_t i = 0; i < n; ++i) current.At(i, i) = 1.0;
+  double last_diff = 0.0;
+  for (uint32_t iter = 0; iter < params.num_steps; ++iter) {
+    // SimRankIterationStep computes c P^T S P (diag reset to 1) via the
+    // two-stage product, which is exactly the partial-sums memoization:
+    // the intermediate A(u', v) = (1/|I(v)|) sum_{v' in I(v)} S(u', v') is
+    // Lizorkin's Partial_{I(v)}(u') normalized, and each stage is O(n m).
+    DenseMatrix next = SimRankIterationStep(graph, current, params.decay);
+    if (max_diff_out != nullptr && iter + 1 == params.num_steps) {
+      last_diff = next.MaxAbsDiff(current);
+    }
+    current.Swap(next);
+  }
+  if (max_diff_out != nullptr) *max_diff_out = last_diff;
+  return current;
+}
+
+}  // namespace simrank

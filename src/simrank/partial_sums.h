@@ -1,0 +1,28 @@
+#ifndef SIMRANK_SIMRANK_PARTIAL_SUMS_H_
+#define SIMRANK_SIMRANK_PARTIAL_SUMS_H_
+
+#include "graph/graph.h"
+#include "simrank/dense_matrix.h"
+#include "simrank/params.h"
+
+namespace simrank {
+
+/// All-pairs SimRank with the partial-sums technique (Lizorkin et al. [26]):
+/// each iteration memoizes Partial(u', v) = sum_{v' in I(v)} S_k(u', v'),
+/// bringing the per-iteration cost from O(d^2 n^2) down to O(n m). Space is
+/// O(n^2) for the score matrix (twice, for ping-pong buffers).
+///
+/// Yu et al. [37] — the state-of-the-art all-pairs comparator in the
+/// paper's Table 4 — has the same O(T n m) time / O(n^2) space profile; the
+/// benchmark harness uses this routine for that baseline as well (see
+/// DESIGN.md, "Substitutions").
+///
+/// If `max_diff_out` is non-null it receives the max-norm difference of the
+/// last two iterates (a convergence certificate).
+DenseMatrix ComputeSimRankPartialSums(const DirectedGraph& graph,
+                                      const SimRankParams& params,
+                                      double* max_diff_out = nullptr);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_PARTIAL_SUMS_H_

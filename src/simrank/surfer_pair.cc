@@ -1,0 +1,33 @@
+#include "simrank/surfer_pair.h"
+
+#include <cmath>
+
+namespace simrank {
+
+double SurferPairSimRank(const DirectedGraph& graph, Vertex u, Vertex v,
+                         const SimRankParams& params, uint32_t num_trials,
+                         Rng& rng) {
+  params.Validate();
+  SIMRANK_CHECK_GE(num_trials, 1u);
+  SIMRANK_CHECK_LT(u, graph.NumVertices());
+  SIMRANK_CHECK_LT(v, graph.NumVertices());
+  if (u == v) return 1.0;
+  double total = 0.0;
+  for (uint32_t trial = 0; trial < num_trials; ++trial) {
+    Vertex a = u, b = v;
+    double decay_pow = 1.0;
+    for (uint32_t t = 1; t <= params.num_steps; ++t) {
+      a = graph.RandomInNeighbor(a, rng);
+      b = graph.RandomInNeighbor(b, rng);
+      if (a == kNoVertex || b == kNoVertex) break;  // a walk died: no meeting
+      decay_pow *= params.decay;
+      if (a == b) {
+        total += decay_pow;  // first meeting at time t contributes c^t
+        break;
+      }
+    }
+  }
+  return total / static_cast<double>(num_trials);
+}
+
+}  // namespace simrank

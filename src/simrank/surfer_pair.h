@@ -1,0 +1,28 @@
+#ifndef SIMRANK_SIMRANK_SURFER_PAIR_H_
+#define SIMRANK_SIMRANK_SURFER_PAIR_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "simrank/params.h"
+#include "util/rng.h"
+
+namespace simrank {
+
+/// Direct Monte-Carlo evaluation of the random surfer-pair model
+/// (Jeh & Widom; Eqs. (2)-(3)): s(u,v) = E[c^tau] where tau is the first
+/// time two independent in-link walks from u and v occupy the same vertex.
+/// Walks are truncated at params.num_steps (contributing 0 when they have
+/// not met), so the estimate lower-bounds true SimRank by at most
+/// c^num_steps.
+///
+/// This is the estimator the Fogaras-Racz baseline (and the original
+/// SimRank semantics) is built on; the library uses it as an independent
+/// cross-check of the linear-formulation estimators.
+double SurferPairSimRank(const DirectedGraph& graph, Vertex u, Vertex v,
+                         const SimRankParams& params, uint32_t num_trials,
+                         Rng& rng);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_SURFER_PAIR_H_

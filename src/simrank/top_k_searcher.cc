@@ -1,0 +1,251 @@
+#include "simrank/top_k_searcher.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "simrank/linear.h"
+#include "util/timer.h"
+
+namespace simrank {
+
+QueryWorkspace::QueryWorkspace(const TopKSearcher& searcher)
+    : bfs_(searcher.graph()), marks_(searcher.graph().NumVertices(), 0) {}
+
+TopKSearcher::TopKSearcher(const DirectedGraph& graph, SearchOptions options)
+    : TopKSearcher(graph, options,
+                   UniformDiagonal(graph.NumVertices(),
+                                   options.simrank.decay)) {
+  diagonal_pending_ = options_.estimate_diagonal;
+}
+
+TopKSearcher::TopKSearcher(const DirectedGraph& graph, SearchOptions options,
+                           std::vector<double> diagonal)
+    : graph_(graph), options_(options), diagonal_(std::move(diagonal)) {
+  options_.simrank.Validate();
+  SIMRANK_CHECK_EQ(diagonal_.size(), graph.NumVertices());
+  SIMRANK_CHECK_GE(options_.threshold, 0.0);
+  SIMRANK_CHECK_GE(options_.refine_walks, 1u);
+  SIMRANK_CHECK_GE(options_.estimate_walks, 1u);
+  SIMRANK_CHECK_GE(options_.profile_walks, 1u);
+  estimator_ = std::make_unique<MonteCarloSimRank>(graph, options_.simrank,
+                                                   diagonal_);
+}
+
+void TopKSearcher::BuildIndex(ThreadPool* pool) {
+  if (index_built_) return;
+  WallTimer timer;
+  if (diagonal_pending_) {
+    WallTimer diagonal_timer;
+    diagonal_ = EstimateDiagonalFixedPoint(graph_, options_.simrank,
+                                           options_.diagonal_options, pool);
+    estimator_ = std::make_unique<MonteCarloSimRank>(graph_, options_.simrank,
+                                                     diagonal_);
+    diagonal_pending_ = false;
+    diagonal_seconds_ = diagonal_timer.ElapsedSeconds();
+  }
+  if (options_.use_l2_bound) {
+    gamma_ = std::make_unique<GammaTable>(GammaTable::BuildMonteCarlo(
+        graph_, options_.simrank, diagonal_, options_.gamma_walks,
+        MixSeeds(options_.seed, 0xA1505), pool));
+  }
+  if (options_.use_index) {
+    index_ = std::make_unique<CandidateIndex>(
+        graph_, options_.simrank, options_.index_params,
+        MixSeeds(options_.seed, 0x1DE8), pool);
+  }
+  preprocess_seconds_ = timer.ElapsedSeconds();
+  index_built_ = true;
+}
+
+void TopKSearcher::AdoptPrebuiltIndex(std::unique_ptr<GammaTable> gamma,
+                                      std::unique_ptr<CandidateIndex> index) {
+  SIMRANK_CHECK(!options_.use_l2_bound ||
+                (gamma != nullptr &&
+                 gamma->num_vertices() == graph_.NumVertices() &&
+                 gamma->num_steps() == options_.simrank.num_steps));
+  SIMRANK_CHECK(!options_.use_index ||
+                (index != nullptr &&
+                 index->num_vertices() == graph_.NumVertices()));
+  gamma_ = std::move(gamma);
+  index_ = std::move(index);
+  // An explicit adoption supersedes any pending diagonal estimation: the
+  // adopted structures were built against the diagonal the caller passed
+  // to the constructor.
+  diagonal_pending_ = false;
+  index_built_ = true;
+  preprocess_seconds_ = 0.0;
+}
+
+uint64_t TopKSearcher::PreprocessBytes() const {
+  uint64_t bytes = 0;
+  if (gamma_ != nullptr) bytes += gamma_->MemoryBytes();
+  if (index_ != nullptr) bytes += index_->MemoryBytes();
+  return bytes;
+}
+
+QueryResult TopKSearcher::Query(Vertex query) const {
+  QueryWorkspace workspace(*this);
+  return Query(query, workspace);
+}
+
+QueryResult TopKSearcher::Query(Vertex query,
+                                QueryWorkspace& workspace) const {
+  SIMRANK_CHECK_LT(query, graph_.NumVertices());
+  SIMRANK_CHECK(!options_.use_l2_bound || gamma_ != nullptr);
+  SIMRANK_CHECK(!options_.use_index || index_ != nullptr);
+  // estimate_diagonal requires the BuildIndex preprocess to have run.
+  SIMRANK_CHECK(!diagonal_pending_);
+  WallTimer timer;
+  QueryResult result;
+  QueryStats& stats = result.stats;
+  const SimRankParams& params = options_.simrank;
+  // Deterministic per-query stream, independent of query order.
+  Rng rng(MixSeeds(options_.seed, 0x9E3779B9ULL + query));
+
+  // BFS from the query: distances feed the pruning bounds, and its
+  // discovery order doubles as the index-free candidate enumeration. The
+  // horizon covers both d_max and the walk radius T-1 needed by the L1
+  // bound's alpha table.
+  const uint32_t horizon =
+      std::max(options_.max_distance, params.num_steps - 1);
+  workspace.bfs_.Run(query, EdgeDirection::kUndirected, horizon);
+
+  // L1 bound table beta(u, d) (Algorithm 2) — computed per query.
+  std::vector<double> beta;
+  if (options_.use_l1_bound) {
+    beta = ComputeL1Beta(graph_, params, diagonal_, query, options_.l1_walks,
+                         workspace.bfs_, options_.max_distance, rng);
+  }
+
+  // The query vertex's walk profile, shared by every candidate estimate.
+  const WalkProfile profile =
+      estimator_->BuildProfile(query, options_.profile_walks, rng);
+
+  TopKCollector collector(options_.k);
+  auto cutoff = [&]() {
+    return std::max(options_.threshold, collector.Threshold());
+  };
+
+  auto consider = [&](Vertex v) {
+    if (v == query) return;
+    ++stats.candidates_enumerated;
+    const uint32_t distance = workspace.bfs_.Distance(v);
+    if (distance == kInfiniteDistance || distance > options_.max_distance) {
+      ++stats.pruned_by_distance;
+      return;
+    }
+    // Cheapest bound first; each bound only tightens the previous one.
+    if (options_.use_distance_bound &&
+        DistanceBound(params.decay, distance) < cutoff()) {
+      ++stats.pruned_by_distance;
+      return;
+    }
+    if (options_.use_l1_bound && beta[distance] < cutoff()) {
+      ++stats.pruned_by_l1;
+      return;
+    }
+    if (options_.use_l2_bound &&
+        gamma_->BoundAtDistance(query, v, distance) < cutoff()) {
+      ++stats.pruned_by_l2;
+      return;
+    }
+    if (options_.adaptive_sampling) {
+      ++stats.rough_estimates;
+      const double rough = estimator_->EstimateAgainstProfile(
+          profile, v, options_.estimate_walks, rng);
+      if (rough < options_.adaptive_margin * cutoff()) {
+        ++stats.skipped_after_estimate;
+        return;
+      }
+    }
+    ++stats.refined;
+    const double score = estimator_->EstimateAgainstProfile(
+        profile, v, options_.refine_walks, rng);
+    if (score >= options_.threshold) collector.Push(v, score);
+  };
+
+  if (options_.use_index) {
+    index_->ForEachCandidate(query, workspace.marks_, workspace.epoch_,
+                             consider);
+  } else {
+    // Ascending-distance scan (§2.2): BFS discovery order is sorted by
+    // distance, so the bound pruning sees nearer candidates first.
+    for (Vertex v : workspace.bfs_.Reached()) consider(v);
+  }
+
+  result.top = collector.TakeSorted();
+  stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group) const {
+  QueryWorkspace workspace(*this);
+  return QueryGroup(group, workspace);
+}
+
+QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group,
+                                     QueryWorkspace& workspace) const {
+  WallTimer timer;
+  QueryResult result;
+  // Aggregate scores sparsely: dense accumulator + touched list.
+  std::vector<double>& votes = workspace.group_votes_;
+  votes.resize(graph_.NumVertices(), 0.0);
+  std::vector<Vertex> touched;
+  for (Vertex member : group) {
+    const QueryResult member_result = Query(member, workspace);
+    result.stats.candidates_enumerated +=
+        member_result.stats.candidates_enumerated;
+    result.stats.pruned_by_distance += member_result.stats.pruned_by_distance;
+    result.stats.pruned_by_l1 += member_result.stats.pruned_by_l1;
+    result.stats.pruned_by_l2 += member_result.stats.pruned_by_l2;
+    result.stats.rough_estimates += member_result.stats.rough_estimates;
+    result.stats.skipped_after_estimate +=
+        member_result.stats.skipped_after_estimate;
+    result.stats.refined += member_result.stats.refined;
+    for (const ScoredVertex& entry : member_result.top) {
+      if (votes[entry.vertex] == 0.0) touched.push_back(entry.vertex);
+      votes[entry.vertex] += entry.score;
+    }
+  }
+  // Group members never recommend themselves.
+  for (Vertex member : group) votes[member] = 0.0;
+  TopKCollector collector(options_.k);
+  for (Vertex v : touched) {
+    if (votes[v] > 0.0) collector.Push(v, votes[v]);
+  }
+  for (Vertex v : touched) votes[v] = 0.0;  // leave the workspace clean
+  result.top = collector.TakeSorted();
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+std::vector<std::vector<ScoredVertex>> TopKSearcher::QueryAll(
+    ThreadPool* pool) const {
+  const Vertex n = graph_.NumVertices();
+  std::vector<std::vector<ScoredVertex>> rankings(n);
+  if (pool == nullptr || pool->num_threads() == 1 || n == 0) {
+    QueryWorkspace workspace(*this);
+    for (Vertex u = 0; u < n; ++u) {
+      rankings[u] = Query(u, workspace).top;
+    }
+    return rankings;
+  }
+  // One workspace per chunk: workspaces must not outlive this call (they
+  // reference the graph), so no thread-local caching. The O(n) workspace
+  // construction amortizes over the chunk's n / (4 * threads) queries.
+  const size_t num_chunks = std::min<size_t>(n, pool->num_threads() * 4);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (size_t lo = 0; lo < n; lo += chunk) {
+    const size_t hi = std::min<size_t>(lo + chunk, n);
+    pool->Submit([this, lo, hi, &rankings] {
+      QueryWorkspace workspace(*this);
+      for (size_t u = lo; u < hi; ++u) {
+        rankings[u] = Query(static_cast<Vertex>(u), workspace).top;
+      }
+    });
+  }
+  pool->Wait();
+  return rankings;
+}
+
+}  // namespace simrank

@@ -1,0 +1,207 @@
+#ifndef SIMRANK_SIMRANK_TOP_K_SEARCHER_H_
+#define SIMRANK_SIMRANK_TOP_K_SEARCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/traversal.h"
+#include "simrank/bounds.h"
+#include "simrank/diagonal.h"
+#include "simrank/index.h"
+#include "simrank/monte_carlo.h"
+#include "simrank/params.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/top_k.h"
+
+namespace simrank {
+
+/// Options of the top-k similarity search engine. Defaults reproduce the
+/// paper's experimental setting (§8): c = 0.6, T = 11, k = 20, theta =
+/// 0.01, R = 100 for scoring and Algorithm 3, R = 10000 for Algorithm 2,
+/// P = 10, Q = 5, adaptive sampling 10 -> 100.
+struct SearchOptions {
+  SimRankParams simrank;
+
+  /// Number of results per query.
+  uint32_t k = 20;
+
+  /// Score threshold theta: vertices whose (bounded or estimated) score
+  /// falls below it are never reported; the search prunes against it.
+  double threshold = 0.01;
+
+  /// Search horizon d_max: vertices farther (undirected) than this from the
+  /// query are not considered (§6: "if d(u,v) > dmax then s(u,v) is too
+  /// small to take into account"; the paper sets dmax = T).
+  uint32_t max_distance = 11;
+
+  // --- pruning ingredients (each can be ablated independently) ---
+  bool use_distance_bound = true;  ///< c^(ceil(d/2)) bound
+  bool use_l1_bound = true;        ///< beta(u, d), Algorithm 2
+  bool use_l2_bound = true;        ///< gamma table, Algorithm 3
+  /// Candidate enumeration through the bipartite index H (Algorithm 4). If
+  /// false, the query scans vertices in ascending distance order instead
+  /// (the index-free strategy sketched in §2.2).
+  bool use_index = true;
+  /// Two-stage adaptive sampling (§7.2): rough estimate with
+  /// `estimate_walks`, refine promising candidates with `refine_walks`.
+  bool adaptive_sampling = true;
+
+  // --- Monte-Carlo sample counts ---
+  uint32_t estimate_walks = 10;   ///< rough pass R
+  uint32_t refine_walks = 100;    ///< accurate pass R
+  /// Walks from the query vertex. The paper scores with R = 100 on both
+  /// endpoints; this build defaults the *query-side* count higher because
+  /// the profile is built once and shared by every candidate, so the extra
+  /// accuracy is nearly free (measured: +7 points of top-k precision for
+  /// <15% query time).
+  uint32_t profile_walks = 400;
+  uint32_t l1_walks = 10000;      ///< Algorithm 2 R
+  uint32_t gamma_walks = 100;     ///< Algorithm 3 R
+  /// A rough estimate e admits a candidate to refinement iff
+  /// e >= adaptive_margin * max(threshold, current k-th score): the margin
+  /// absorbs the noise of the small-R pass.
+  double adaptive_margin = 0.3;
+
+  IndexParams index_params;
+
+  /// If true, the constructor estimates the diagonal correction matrix D
+  /// with the fixed-point sweep of simrank/diagonal.h instead of using the
+  /// D ~ (1-c)I approximation (§3.3). Estimated scores then track *true*
+  /// SimRank (measured ratio ~0.99 vs ~0.43 under the approximation), at
+  /// the cost of an extra preprocess pass. Ignored when an explicit
+  /// diagonal is supplied.
+  bool estimate_diagonal = false;
+  DiagonalEstimateOptions diagonal_options = {
+      .max_iterations = 30, .tolerance = 1e-3, .monte_carlo_walks = 100};
+
+  /// Master seed; every random stream (index, gamma, per-query walks) is
+  /// derived from it deterministically.
+  uint64_t seed = 42;
+};
+
+/// Per-query instrumentation, reported alongside the ranking.
+struct QueryStats {
+  uint64_t candidates_enumerated = 0;
+  uint64_t pruned_by_distance = 0;  ///< horizon or c^(d/2) bound
+  uint64_t pruned_by_l1 = 0;
+  uint64_t pruned_by_l2 = 0;
+  uint64_t rough_estimates = 0;
+  uint64_t skipped_after_estimate = 0;
+  uint64_t refined = 0;
+  double seconds = 0.0;
+};
+
+/// Result of one top-k query.
+struct QueryResult {
+  /// Best-first ranking (at most k entries, scores >= threshold).
+  std::vector<ScoredVertex> top;
+  QueryStats stats;
+};
+
+class TopKSearcher;
+
+/// Reusable per-thread scratch (BFS arrays, dedup marks). Constructing one
+/// per query works but costs O(n) allocations; query loops should reuse.
+class QueryWorkspace {
+ public:
+  explicit QueryWorkspace(const TopKSearcher& searcher);
+
+ private:
+  friend class TopKSearcher;
+  BfsWorkspace bfs_;
+  std::vector<uint32_t> marks_;
+  uint32_t epoch_ = 0;
+  /// Lazily sized score accumulator for QueryGroup.
+  std::vector<double> group_votes_;
+};
+
+/// The paper's similarity-search engine (§7): preprocess once
+/// (Algorithm 3 gamma table + Algorithm 4 candidate index, O(n) time,
+/// O(nP + nT) space), then answer top-k queries by candidate enumeration,
+/// bound pruning (distance / L1 / L2) and adaptive Monte-Carlo scoring
+/// (Algorithm 5).
+class TopKSearcher {
+ public:
+  /// The graph must outlive the searcher. Uses the D ~ (1-c)I diagonal
+  /// approximation (§3.3) — or the fixed-point estimate when
+  /// options.estimate_diagonal is set — unless an explicit diagonal is
+  /// supplied.
+  TopKSearcher(const DirectedGraph& graph, SearchOptions options);
+  TopKSearcher(const DirectedGraph& graph, SearchOptions options,
+               std::vector<double> diagonal);
+
+  /// Seconds of the last BuildIndex spent estimating D (0 unless
+  /// options.estimate_diagonal was set).
+  double diagonal_seconds() const { return diagonal_seconds_; }
+
+  /// Runs the preprocess phase. `pool` may be null (serial). Idempotent.
+  void BuildIndex(ThreadPool* pool = nullptr);
+  bool index_built() const { return index_built_; }
+
+  /// Installs previously built preprocess structures (the deserialization
+  /// path; see simrank/serialization.h) instead of running BuildIndex.
+  /// Either pointer may be null when the corresponding ingredient is
+  /// disabled in the options. Marks the index built.
+  void AdoptPrebuiltIndex(std::unique_ptr<GammaTable> gamma,
+                          std::unique_ptr<CandidateIndex> index);
+
+  /// Seconds spent in the last BuildIndex call.
+  double preprocess_seconds() const { return preprocess_seconds_; }
+  /// Bytes held by the preprocess structures (gamma table + index H).
+  uint64_t PreprocessBytes() const;
+
+  const DirectedGraph& graph() const { return graph_; }
+  const SearchOptions& options() const { return options_; }
+  const std::vector<double>& diagonal() const { return diagonal_; }
+
+  /// Answers a top-k query. Requires BuildIndex() first when the options
+  /// enable the index or the L2 bound. Thread-safe: concurrent queries may
+  /// share the searcher as long as each uses its own workspace.
+  QueryResult Query(Vertex query, QueryWorkspace& workspace) const;
+
+  /// Convenience overload constructing a fresh workspace.
+  QueryResult Query(Vertex query) const;
+
+  /// Aggregated similarity to a *set* of vertices: runs a top-k query per
+  /// member and ranks candidates by the sum of their scores across
+  /// members, excluding the members themselves. This is the standard
+  /// recommendation/link-prediction pattern ("items similar to the ones
+  /// this user already has"). Stats are summed over member queries.
+  QueryResult QueryGroup(std::span<const Vertex> group,
+                         QueryWorkspace& workspace) const;
+
+  /// Convenience overload constructing a fresh workspace.
+  QueryResult QueryGroup(std::span<const Vertex> group) const;
+
+  /// Top-k for every vertex (the all-pairs mode of §2.2), parallelized over
+  /// query vertices. Returns one ranking per vertex.
+  std::vector<std::vector<ScoredVertex>> QueryAll(
+      ThreadPool* pool = nullptr) const;
+
+  /// Read-only access to the preprocess structures (for benches/tests).
+  const GammaTable* gamma_table() const { return gamma_.get(); }
+  const CandidateIndex* candidate_index() const { return index_.get(); }
+
+ private:
+  const DirectedGraph& graph_;
+  SearchOptions options_;
+  std::vector<double> diagonal_;
+  /// True until BuildIndex has replaced the provisional uniform diagonal
+  /// with the fixed-point estimate (only when options_.estimate_diagonal
+  /// is set and no explicit diagonal was supplied).
+  bool diagonal_pending_ = false;
+  std::unique_ptr<MonteCarloSimRank> estimator_;
+  std::unique_ptr<GammaTable> gamma_;
+  std::unique_ptr<CandidateIndex> index_;
+  bool index_built_ = false;
+  double preprocess_seconds_ = 0.0;
+  double diagonal_seconds_ = 0.0;
+};
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_TOP_K_SEARCHER_H_

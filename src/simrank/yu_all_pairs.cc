@@ -1,0 +1,33 @@
+#include "simrank/yu_all_pairs.h"
+
+#include "simrank/partial_sums.h"
+#include "util/timer.h"
+
+namespace simrank {
+
+YuAllPairsResult RunYuAllPairs(const DirectedGraph& graph,
+                               const SimRankParams& params) {
+  YuAllPairsResult result;
+  WallTimer timer;
+  result.scores = ComputeSimRankPartialSums(graph, params);
+  result.seconds = timer.ElapsedSeconds();
+  // Two dense n x n buffers are live during the iteration.
+  result.memory_bytes = 2 * result.scores.MemoryBytes();
+  return result;
+}
+
+std::vector<ScoredVertex> TopKFromMatrix(const DenseMatrix& scores, Vertex u,
+                                         uint32_t k, double threshold) {
+  SIMRANK_CHECK_LT(u, scores.n());
+  TopKCollector collector(k);
+  const double* row = scores.Row(u);
+  for (size_t v = 0; v < scores.n(); ++v) {
+    if (v == u) continue;
+    if (row[v] >= threshold && row[v] > 0.0) {
+      collector.Push(static_cast<Vertex>(v), row[v]);
+    }
+  }
+  return collector.TakeSorted();
+}
+
+}  // namespace simrank

@@ -1,0 +1,39 @@
+#ifndef SIMRANK_SIMRANK_YU_ALL_PAIRS_H_
+#define SIMRANK_SIMRANK_YU_ALL_PAIRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "simrank/dense_matrix.h"
+#include "simrank/params.h"
+#include "util/top_k.h"
+
+namespace simrank {
+
+/// The state-of-the-art all-pairs comparator of the paper's Table 4:
+/// Yu et al. [37], "A space and time efficient algorithm for SimRank
+/// computation", O(T n m) time and O(n^2) space. This build realizes it as
+/// the partial-sums iteration over a dense score matrix — the same
+/// asymptotic profile, and in particular the same quadratic memory wall
+/// that makes the baseline fail beyond ~10^6-vertex graphs (see DESIGN.md,
+/// "Substitutions").
+struct YuAllPairsResult {
+  DenseMatrix scores;
+  double seconds = 0.0;
+  /// Peak score-matrix footprint (two ping-pong buffers).
+  uint64_t memory_bytes = 0;
+};
+
+/// Runs the baseline to `params.num_steps` iterations.
+YuAllPairsResult RunYuAllPairs(const DirectedGraph& graph,
+                               const SimRankParams& params);
+
+/// Extracts the top-k ranking of `u` (excluding u itself) from a dense
+/// score matrix, dropping scores below `threshold`.
+std::vector<ScoredVertex> TopKFromMatrix(const DenseMatrix& scores, Vertex u,
+                                         uint32_t k, double threshold = 0.0);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_YU_ALL_PAIRS_H_

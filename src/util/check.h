@@ -1,0 +1,38 @@
+#ifndef SIMRANK_UTIL_CHECK_H_
+#define SIMRANK_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros for programming errors. These are always on
+// (including release builds): the algorithms in this library are randomized
+// and a silently-corrupted invariant is far more expensive to debug than the
+// branch is to execute. For recoverable errors (IO, user input) use Status.
+
+namespace simrank::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace simrank::internal
+
+#define SIMRANK_CHECK(expr)                                         \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::simrank::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                                \
+  } while (false)
+
+#define SIMRANK_CHECK_OP(lhs, op, rhs) SIMRANK_CHECK((lhs)op(rhs))
+
+#define SIMRANK_CHECK_EQ(lhs, rhs) SIMRANK_CHECK_OP(lhs, ==, rhs)
+#define SIMRANK_CHECK_NE(lhs, rhs) SIMRANK_CHECK_OP(lhs, !=, rhs)
+#define SIMRANK_CHECK_LT(lhs, rhs) SIMRANK_CHECK_OP(lhs, <, rhs)
+#define SIMRANK_CHECK_LE(lhs, rhs) SIMRANK_CHECK_OP(lhs, <=, rhs)
+#define SIMRANK_CHECK_GT(lhs, rhs) SIMRANK_CHECK_OP(lhs, >, rhs)
+#define SIMRANK_CHECK_GE(lhs, rhs) SIMRANK_CHECK_OP(lhs, >=, rhs)
+
+#endif  // SIMRANK_UTIL_CHECK_H_

@@ -1,0 +1,101 @@
+#ifndef SIMRANK_UTIL_COUNTER_H_
+#define SIMRANK_UTIL_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace simrank {
+
+/// Open-addressing multiset counter for small key sets (the positions of R
+/// random walks at one step, R ~ 10..10000). This is the inner loop of the
+/// Monte-Carlo estimators, where std::unordered_map's allocation and
+/// bucketing overhead dominates; a flat power-of-two table with linear
+/// probing is several times faster and allocation-free after construction.
+class WalkCounter {
+ public:
+  struct Entry {
+    uint32_t key;
+    uint32_t count;
+  };
+
+  /// Creates a counter able to absorb up to `capacity` distinct keys while
+  /// staying under 50% load.
+  explicit WalkCounter(size_t capacity = 64) { Rebuild(capacity); }
+
+  /// Removes all entries; keeps the allocated table.
+  void Clear() {
+    for (size_t i : used_slots_) slots_[i].count = 0;
+    used_slots_.clear();
+  }
+
+  /// Adds one occurrence of `key`.
+  void Add(uint32_t key) {
+    if (used_slots_.size() * 2 >= slots_.size()) Grow();
+    size_t i = Hash(key) & mask_;
+    while (slots_[i].count != 0 && slots_[i].key != key) i = (i + 1) & mask_;
+    if (slots_[i].count == 0) {
+      slots_[i].key = key;
+      used_slots_.push_back(i);
+    }
+    ++slots_[i].count;
+  }
+
+  /// Occurrence count of `key` (0 if absent).
+  uint32_t Count(uint32_t key) const {
+    size_t i = Hash(key) & mask_;
+    while (slots_[i].count != 0) {
+      if (slots_[i].key == key) return slots_[i].count;
+      i = (i + 1) & mask_;
+    }
+    return 0;
+  }
+
+  /// Number of distinct keys currently stored.
+  size_t DistinctKeys() const { return used_slots_.size(); }
+
+  /// Invokes fn(key, count) for each distinct key, in insertion order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i : used_slots_) fn(slots_[i].key, slots_[i].count);
+  }
+
+ private:
+  static size_t Hash(uint32_t key) {
+    uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+
+  void Rebuild(size_t capacity) {
+    size_t size = 16;
+    while (size < capacity * 2) size <<= 1;
+    slots_.assign(size, Entry{0, 0});
+    mask_ = size - 1;
+    used_slots_.clear();
+    used_slots_.reserve(capacity);
+  }
+
+  void Grow() {
+    std::vector<Entry> old;
+    old.reserve(used_slots_.size());
+    for (size_t i : used_slots_) old.push_back(slots_[i]);
+    Rebuild(slots_.size());  // doubles: capacity = old size.
+    for (const Entry& e : old) {
+      size_t i = Hash(e.key) & mask_;
+      while (slots_[i].count != 0) i = (i + 1) & mask_;
+      slots_[i] = e;
+      used_slots_.push_back(i);
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::vector<size_t> used_slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace simrank
+
+#endif  // SIMRANK_UTIL_COUNTER_H_

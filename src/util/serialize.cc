@@ -1,0 +1,60 @@
+#include "util/serialize.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace simrank {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path) {
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot create " + path + ": " +
+                              std::strerror(errno));
+  }
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (!status_.ok() || size == 0) return;
+  if (std::fwrite(data, 1, size, file_) != size) {
+    status_ = Status::IoError("write error on " + path_);
+  }
+}
+
+Status BinaryWriter::Finish() {
+  if (file_ != nullptr) {
+    if (status_.ok() && std::fflush(file_) != 0) {
+      status_ = Status::IoError("flush error on " + path_);
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb")), path_(path) {
+  if (file_ == nullptr) {
+    status_ =
+        Status::IoError("cannot open " + path + ": " + std::strerror(errno));
+  }
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool BinaryReader::ReadBytes(void* data, size_t size) {
+  if (!status_.ok()) return false;
+  if (size == 0) return true;
+  if (std::fread(data, 1, size, file_) != size) {
+    status_ = Status::Corruption(path_ + ": unexpected end of file");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace simrank

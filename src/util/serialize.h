@@ -1,0 +1,101 @@
+#ifndef SIMRANK_UTIL_SERIALIZE_H_
+#define SIMRANK_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace simrank {
+
+/// Minimal checked binary writer over stdio. Values are written in host
+/// byte order (index files are machine-local caches, not interchange
+/// formats). All methods are no-ops after the first failure; call
+/// Finish() to close and retrieve the final status.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing (truncates).
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  /// Writes one trivially-copyable value.
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&value, sizeof(T));
+  }
+
+  /// Writes a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<uint64_t>(values.size());
+    WriteBytes(values.data(), values.size() * sizeof(T));
+  }
+
+  bool ok() const { return status_.ok(); }
+
+  /// Flushes, closes, and returns the accumulated status. Must be called
+  /// exactly once before destruction for a meaningful result.
+  Status Finish();
+
+ private:
+  void WriteBytes(const void* data, size_t size);
+
+  std::FILE* file_;
+  std::string path_;
+  Status status_;
+};
+
+/// Checked binary reader matching BinaryWriter. Read methods return false
+/// (and poison the reader) on short reads.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  template <typename T>
+  bool Read(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(&value, sizeof(T));
+  }
+
+  /// Reads a length-prefixed vector; rejects lengths implying more bytes
+  /// than `max_bytes` (corruption guard, default 1 TiB).
+  template <typename T>
+  bool ReadVector(std::vector<T>& values,
+                  uint64_t max_bytes = 1ull << 40) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t size = 0;
+    if (!Read(size)) return false;
+    if (size > max_bytes / sizeof(T)) {
+      status_ = Status::Corruption(path_ + ": implausible vector length");
+      return false;
+    }
+    values.resize(size);
+    return ReadBytes(values.data(), size * sizeof(T));
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  bool ReadBytes(void* data, size_t size);
+
+  std::FILE* file_;
+  std::string path_;
+  Status status_;
+};
+
+}  // namespace simrank
+
+#endif  // SIMRANK_UTIL_SERIALIZE_H_

@@ -1,0 +1,117 @@
+#ifndef SIMRANK_UTIL_STATUS_H_
+#define SIMRANK_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace simrank {
+
+// Machine-readable classification of a recoverable error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kCorruption,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight Status in the Arrow/RocksDB style: a (code, message) pair
+/// used for recoverable errors. Programming errors use SIMRANK_CHECK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status. Accessing the value of
+/// an error result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  /// Implicit so functions can `return Status::IoError(...);`.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    SIMRANK_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    SIMRANK_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    SIMRANK_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    SIMRANK_CHECK(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace simrank
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SIMRANK_RETURN_IF_ERROR(expr)        \
+  do {                                       \
+    ::simrank::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // SIMRANK_UTIL_STATUS_H_

@@ -1,0 +1,46 @@
+#ifndef SIMRANK_UTIL_TABLE_H_
+#define SIMRANK_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simrank {
+
+/// Accumulates rows of strings and renders them as an aligned, pipe-separated
+/// text table. All benchmark binaries use this so that reproduced paper
+/// tables share one layout.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) as a string.
+  std::string ToString() const;
+
+  /// Renders and writes the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds adaptively: "153 us", "12.3 ms", "4.56 s", "1.2 h".
+std::string FormatDuration(double seconds);
+
+/// Formats a byte count adaptively: "512 B", "1.2 MB", "3.4 GB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a count with thousands separators: 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t value);
+
+/// Formats a double with `digits` significant digits.
+std::string FormatDouble(double value, int digits = 4);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_UTIL_TABLE_H_

@@ -1,0 +1,56 @@
+#ifndef SIMRANK_UTIL_THREAD_POOL_H_
+#define SIMRANK_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace simrank {
+
+/// Fixed-size worker pool. The all-pairs similarity search is embarrassingly
+/// parallel over query vertices (the paper's "distributed computing
+/// friendly" remark, §2.2); this pool is how the single-machine build
+/// exploits that.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end), statically chunked over `pool` (or
+/// inline when pool is null). fn must be safe to call concurrently for
+/// distinct i.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace simrank
+
+#endif  // SIMRANK_UTIL_THREAD_POOL_H_

@@ -1,0 +1,76 @@
+#ifndef SIMRANK_UTIL_TOP_K_H_
+#define SIMRANK_UTIL_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace simrank {
+
+/// One entry of a similarity ranking.
+struct ScoredVertex {
+  uint32_t vertex = 0;
+  double score = 0.0;
+};
+
+/// Orders by descending score, breaking ties by ascending vertex id so that
+/// rankings are deterministic.
+inline bool ScoredVertexGreater(const ScoredVertex& a, const ScoredVertex& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.vertex < b.vertex;
+}
+
+/// Collects the k best-scoring vertices seen so far using a size-k min-heap.
+/// Push is O(log k); the collector never stores more than k entries.
+class TopKCollector {
+ public:
+  explicit TopKCollector(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Score of the current k-th entry, or -infinity while not yet full.
+  /// A candidate that cannot exceed this cannot enter the top-k.
+  double Threshold() const {
+    if (!full()) return -std::numeric_limits<double>::infinity();
+    return heap_.front().score;
+  }
+
+  /// Offers a candidate; keeps it only if it beats the current threshold.
+  void Push(uint32_t vertex, double score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({vertex, score});
+      std::push_heap(heap_.begin(), heap_.end(), ScoredVertexGreater);
+      return;
+    }
+    // Min element is at the front under the "greater" comparator.
+    const ScoredVertex& worst = heap_.front();
+    if (ScoredVertexGreater({vertex, score}, worst)) {
+      std::pop_heap(heap_.begin(), heap_.end(), ScoredVertexGreater);
+      heap_.back() = {vertex, score};
+      std::push_heap(heap_.begin(), heap_.end(), ScoredVertexGreater);
+    }
+  }
+
+  /// Returns the collected entries ordered best-first. Leaves the collector
+  /// unchanged.
+  std::vector<ScoredVertex> TakeSorted() const {
+    std::vector<ScoredVertex> out = heap_;
+    std::sort(out.begin(), out.end(), ScoredVertexGreater);
+    return out;
+  }
+
+ private:
+  size_t k_;
+  std::vector<ScoredVertex> heap_;
+};
+
+}  // namespace simrank
+
+#endif  // SIMRANK_UTIL_TOP_K_H_

@@ -1,0 +1,165 @@
+// Cross-cutting edge-case tests that don't belong to a single module
+// suite: IO failure paths, dead-walk handling, invalid serialized CSRs,
+// and non-default decay end-to-end.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "graph/io.h"
+#include "simrank/index.h"
+#include "simrank/monte_carlo.h"
+#include "simrank/linear.h"
+#include "simrank/top_k_searcher.h"
+#include "test_helpers.h"
+#include "util/table.h"
+
+namespace simrank {
+namespace {
+
+TEST(IoFailureTest, SaveEdgeListToBadPathIsIoError) {
+  const DirectedGraph graph = testing::GraphFromEdges(2, {{0, 1}});
+  EXPECT_EQ(SaveEdgeListText(graph, "/nonexistent/dir/g.txt").code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(SaveBinary(graph, "/nonexistent/dir/g.bin").code(),
+            StatusCode::kIoError);
+}
+
+TEST(FormatDoubleTest, RespectsSignificantDigits) {
+  EXPECT_EQ(FormatDouble(0.123456, 3), "0.123");
+  EXPECT_EQ(FormatDouble(1234.5678, 6), "1234.57");
+  EXPECT_EQ(FormatDouble(0.0, 4), "0");
+}
+
+TEST(MetricsEdgeTest, NdcgWithEmptyPrediction) {
+  const std::vector<ScoredVertex> truth = {{1, 1.0}, {2, 0.5}};
+  EXPECT_DOUBLE_EQ(eval::NdcgAtK({}, truth, 5), 0.0);
+  EXPECT_DOUBLE_EQ(eval::NdcgAtK({}, {}, 5), 1.0);
+}
+
+TEST(WalkProfileEdgeTest, StepsBeyondWalkDeathAreEmpty) {
+  // Chain 0 -> 1 -> 2: from 2, every walk dies after two steps; all later
+  // profile steps must report zero mass everywhere.
+  const DirectedGraph chain = testing::GraphFromEdges(3, {{0, 1}, {1, 2}});
+  SimRankParams params;
+  params.num_steps = 8;
+  Rng rng(1);
+  const WalkProfile profile(chain, params, 2, 20, rng);
+  ASSERT_EQ(profile.num_steps(), 8u);
+  EXPECT_EQ(profile.CountAt(0, 2), 20u);
+  EXPECT_EQ(profile.CountAt(1, 1), 20u);
+  EXPECT_EQ(profile.CountAt(2, 0), 20u);
+  for (uint32_t t = 3; t < 8; ++t) {
+    for (Vertex v = 0; v < 3; ++v) {
+      EXPECT_EQ(profile.CountAt(t, v), 0u) << t << "," << v;
+    }
+  }
+}
+
+TEST(CandidateIndexFromCsrTest, RejectsInconsistentCsr) {
+  // Offsets not matching the hub array size is a programming/corruption
+  // error surfaced by CHECK.
+  std::vector<uint64_t> offsets = {0, 1, 3};
+  std::vector<Vertex> hubs = {0};  // offsets.back() says 3 entries
+  EXPECT_DEATH(CandidateIndex::FromCsr(2, std::move(offsets),
+                                       std::move(hubs)),
+               "CHECK failed");
+}
+
+TEST(CandidateIndexFromCsrTest, RejectsOutOfRangeHub) {
+  std::vector<uint64_t> offsets = {0, 1};
+  std::vector<Vertex> hubs = {7};  // only 1 vertex exists
+  EXPECT_DEATH(CandidateIndex::FromCsr(1, std::move(offsets),
+                                       std::move(hubs)),
+               "CHECK failed");
+}
+
+TEST(HighDecayTest, SearcherWorksEndToEndAtC08) {
+  // The paper's alternative setting c = 0.8 (Jeh & Widom's default).
+  const DirectedGraph graph = testing::SmallRandomGraph(120, 1301, 70);
+  SearchOptions options;
+  options.simrank.decay = 0.8;
+  options.simrank.num_steps = 11;
+  options.k = 10;
+  options.threshold = 0.05;
+  options.seed = 8;
+  TopKSearcher searcher(graph, options);
+  searcher.BuildIndex();
+  const LinearSimRank oracle(graph, options.simrank,
+                             UniformDiagonal(graph.NumVertices(), 0.8));
+  double precision = 0.0;
+  int queries = 0;
+  QueryWorkspace workspace(searcher);
+  for (Vertex u = 0; u < graph.NumVertices(); u += 5) {
+    const auto truth = oracle.TopK(u, 10, options.threshold);
+    if (truth.size() < 3) continue;
+    precision += eval::PrecisionAtK(searcher.Query(u, workspace).top, truth,
+                                    static_cast<uint32_t>(truth.size()));
+    ++queries;
+  }
+  ASSERT_GT(queries, 3);
+  EXPECT_GT(precision / queries, 0.7);
+}
+
+TEST(LowDecayTest, ScoresDecayFasterAtSmallC) {
+  // Smaller c concentrates similarity on immediate structure: the maximum
+  // off-diagonal truncated score shrinks with c.
+  const DirectedGraph graph = testing::SmallRandomGraph(80, 1302, 40);
+  auto max_offdiag = [&](double c) {
+    SimRankParams params;
+    params.decay = c;
+    params.num_steps = 11;
+    const LinearSimRank linear(graph, params,
+                               UniformDiagonal(graph.NumVertices(), c));
+    double best = 0.0;
+    for (Vertex u = 0; u < 20; ++u) {
+      const std::vector<double> row = linear.SingleSource(u);
+      for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+        if (v != u) best = std::max(best, row[v]);
+      }
+    }
+    return best;
+  };
+  EXPECT_LT(max_offdiag(0.2), max_offdiag(0.8));
+}
+
+TEST(SelfLoopTest, GraphWithSelfLoopsStaysSane) {
+  // Self loops are legal input (the builder can keep them): a vertex can
+  // then walk to itself. SimRank axioms must still hold.
+  GraphBuilder builder;
+  builder.AddEdge(0, 0);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 1);
+  const DirectedGraph graph = builder.Build();
+  SimRankParams params;
+  const LinearSimRank linear(graph, params, UniformDiagonal(3, 0.6));
+  for (Vertex u = 0; u < 3; ++u) {
+    for (Vertex v = 0; v < 3; ++v) {
+      const double s = linear.SinglePair(u, v);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(TinyGraphTest, TwoVertexGraphsAllTopologies) {
+  SimRankParams params;
+  struct Case {
+    std::vector<Edge> edges;
+    double expected_s01;
+  };
+  // 0 -> 1 only: no shared in-structure, s = 0.
+  // mutual edges: I(0)={1}, I(1)={0}, s(0,1) = c * s(1,0) -> 0.
+  for (const Case& c :
+       {Case{{{0, 1}}, 0.0}, Case{{{0, 1}, {1, 0}}, 0.0}}) {
+    const DirectedGraph graph = testing::GraphFromEdges(2, c.edges);
+    const LinearSimRank linear(graph, params, UniformDiagonal(2, 0.6));
+    EXPECT_NEAR(linear.SinglePair(0, 1), c.expected_s01, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace simrank

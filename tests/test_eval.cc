@@ -1,0 +1,167 @@
+// Tests for the evaluation harness: ranking metrics and the synthetic
+// dataset registry.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "graph/stats.h"
+#include "graph/traversal.h"
+
+namespace simrank {
+namespace {
+
+using eval::DatasetFamily;
+using eval::DatasetSpec;
+
+// ---------- metrics ----------
+
+std::vector<ScoredVertex> Ranking(
+    std::initializer_list<std::pair<uint32_t, double>> entries) {
+  std::vector<ScoredVertex> out;
+  for (const auto& [v, s] : entries) out.push_back({v, s});
+  return out;
+}
+
+TEST(MetricsTest, RecallOfSet) {
+  const auto truth = Ranking({{1, 0.9}, {2, 0.8}, {3, 0.7}, {4, 0.6}});
+  const auto predicted = Ranking({{2, 0.85}, {4, 0.55}, {9, 0.5}});
+  EXPECT_DOUBLE_EQ(eval::RecallOfSet(predicted, truth), 0.5);
+  EXPECT_DOUBLE_EQ(eval::RecallOfSet(predicted, {}), 1.0);
+  EXPECT_DOUBLE_EQ(eval::RecallOfSet({}, truth), 0.0);
+}
+
+TEST(MetricsTest, PrecisionAtK) {
+  const auto truth = Ranking({{1, 0.9}, {2, 0.8}, {3, 0.7}, {4, 0.6}});
+  const auto predicted = Ranking({{1, 0.9}, {5, 0.8}, {3, 0.7}});
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(predicted, truth, 3), 2.0 / 3.0);
+  // k beyond both lists: truth_k = 4 entries, 2 hits.
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(predicted, truth, 10), 0.5);
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK({}, truth, 3), 0.0);
+}
+
+TEST(MetricsTest, KendallTauPerfectAndInverted) {
+  const auto a = Ranking({{1, 0.9}, {2, 0.8}, {3, 0.7}});
+  const auto same = Ranking({{1, 0.5}, {2, 0.4}, {3, 0.3}});
+  const auto inverted = Ranking({{1, 0.3}, {2, 0.4}, {3, 0.5}});
+  EXPECT_DOUBLE_EQ(eval::KendallTau(a, same), 1.0);
+  EXPECT_DOUBLE_EQ(eval::KendallTau(a, inverted), -1.0);
+}
+
+TEST(MetricsTest, KendallTauHandlesDisjointLists) {
+  const auto a = Ranking({{1, 0.9}});
+  const auto b = Ranking({{2, 0.9}});
+  EXPECT_DOUBLE_EQ(eval::KendallTau(a, b), 1.0);  // vacuous
+}
+
+TEST(MetricsTest, NdcgRewardsCorrectOrder) {
+  const auto truth = Ranking({{1, 1.0}, {2, 0.5}, {3, 0.25}});
+  const auto perfect = Ranking({{1, 9.0}, {2, 8.0}, {3, 7.0}});
+  const auto reversed = Ranking({{3, 9.0}, {2, 8.0}, {1, 7.0}});
+  EXPECT_DOUBLE_EQ(eval::NdcgAtK(perfect, truth, 3), 1.0);
+  EXPECT_LT(eval::NdcgAtK(reversed, truth, 3), 1.0);
+  EXPECT_GT(eval::NdcgAtK(reversed, truth, 3), 0.5);
+}
+
+TEST(MetricsTest, LogLogCorrelationOfProportionalScoresIsOne) {
+  // Figure 1's statistic: D ~ (1-c)I only rescales scores, so exact vs
+  // approximated scores are proportional -> log-log correlation 1.
+  const auto exact = Ranking({{1, 0.5}, {2, 0.25}, {3, 0.125}, {4, 0.01}});
+  auto scaled = exact;
+  for (auto& entry : scaled) entry.score *= 0.37;
+  EXPECT_NEAR(eval::LogLogCorrelation(exact, scaled), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, LogLogCorrelationDetectsNoise) {
+  const auto a = Ranking({{1, 0.9}, {2, 0.1}, {3, 0.5}, {4, 0.02}});
+  const auto b = Ranking({{1, 0.03}, {2, 0.8}, {3, 0.2}, {4, 0.6}});
+  EXPECT_LT(eval::LogLogCorrelation(a, b), 0.9);
+}
+
+TEST(MetricsTest, HighScoreSetFiltersAndSorts) {
+  const std::vector<double> scores = {1.0, 0.5, 0.01, 0.7, 0.04};
+  const auto set = eval::HighScoreSet(scores, 0.04, /*exclude=*/0);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set[0].vertex, 3u);
+  EXPECT_EQ(set[1].vertex, 1u);
+  EXPECT_EQ(set[2].vertex, 4u);
+}
+
+// ---------- dataset registry ----------
+
+TEST(DatasetRegistryTest, RegistryIsNonEmptyAndNamed) {
+  const auto registry = eval::DatasetRegistry();
+  EXPECT_GE(registry.size(), 10u);
+  for (const DatasetSpec& spec : registry) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.paper_analog.empty());
+    EXPECT_GT(spec.target_vertices, 0u);
+  }
+}
+
+TEST(DatasetRegistryTest, FindByName) {
+  EXPECT_TRUE(eval::FindDataset("syn-ca-grqc").has_value());
+  EXPECT_FALSE(eval::FindDataset("no-such-dataset").has_value());
+}
+
+TEST(DatasetRegistryTest, ScaleShrinksSizes) {
+  const auto full = eval::FindDataset("syn-web-stanford", 1.0);
+  const auto half = eval::FindDataset("syn-web-stanford", 0.5);
+  ASSERT_TRUE(full && half);
+  EXPECT_LT(half->target_edges, full->target_edges);
+}
+
+TEST(DatasetRegistryTest, SmallDatasetsAreTheExactCorpus) {
+  const auto small = eval::SmallDatasets();
+  EXPECT_EQ(small.size(), 5u);
+  for (const DatasetSpec& spec : small) {
+    EXPECT_LE(spec.target_vertices, 3000u);
+  }
+}
+
+TEST(DatasetGenerateTest, SizesApproximateTargets) {
+  for (const DatasetSpec& spec : eval::SmallDatasets(0.5)) {
+    const DirectedGraph graph = eval::Generate(spec);
+    EXPECT_GE(graph.NumVertices(), spec.target_vertices / 2) << spec.name;
+    EXPECT_LE(graph.NumVertices(), spec.target_vertices * 2 + 64)
+        << spec.name;
+    EXPECT_GE(graph.NumEdges(), spec.target_edges / 4) << spec.name;
+    EXPECT_LE(graph.NumEdges(), spec.target_edges * 3) << spec.name;
+  }
+}
+
+TEST(DatasetGenerateTest, GenerationIsDeterministic) {
+  const auto spec = *eval::FindDataset("syn-ca-grqc", 0.25);
+  const DirectedGraph a = eval::Generate(spec);
+  const DirectedGraph b = eval::Generate(spec);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(DatasetGenerateTest, FamiliesHaveExpectedStructure) {
+  const double scale = 0.25;
+  const auto grqc = eval::Generate(*eval::FindDataset("syn-ca-grqc", scale));
+  EXPECT_DOUBLE_EQ(ComputeGraphStats(grqc).reciprocity, 1.0);
+
+  const auto web =
+      eval::Generate(*eval::FindDataset("syn-web-stanford", 0.05));
+  EXPECT_LT(ComputeGraphStats(web).reciprocity, 0.5);
+
+  const auto citation =
+      eval::Generate(*eval::FindDataset("syn-cit-hepth", scale));
+  for (Vertex v = 0; v < citation.NumVertices(); v += 37) {
+    for (Vertex w : citation.OutNeighbors(v)) EXPECT_LT(w, v);
+  }
+}
+
+TEST(DatasetGenerateTest, CollaborationGraphsAreMostlyConnected) {
+  const auto graph = eval::Generate(*eval::FindDataset("syn-ca-grqc", 0.5));
+  const ComponentStats cc = WeaklyConnectedComponents(graph);
+  EXPECT_GE(static_cast<double>(cc.largest_size),
+            0.9 * graph.NumVertices());
+}
+
+}  // namespace
+}  // namespace simrank

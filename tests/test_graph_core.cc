@@ -1,0 +1,209 @@
+// Tests for the CSR DirectedGraph, GraphBuilder, and graph statistics.
+
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/stats.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace simrank {
+namespace {
+
+using ::simrank::testing::GraphFromEdges;
+
+TEST(DirectedGraphTest, EmptyGraph) {
+  DirectedGraph graph;
+  EXPECT_EQ(graph.NumVertices(), 0u);
+  EXPECT_EQ(graph.NumEdges(), 0u);
+}
+
+TEST(DirectedGraphTest, VerticesWithoutEdges) {
+  const DirectedGraph graph(5, {});
+  EXPECT_EQ(graph.NumVertices(), 5u);
+  EXPECT_EQ(graph.NumEdges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) {
+    EXPECT_TRUE(graph.OutNeighbors(v).empty());
+    EXPECT_TRUE(graph.InNeighbors(v).empty());
+  }
+}
+
+TEST(DirectedGraphTest, AdjacencyIsConsistentBothDirections) {
+  const DirectedGraph graph =
+      GraphFromEdges(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(graph.NumEdges(), 5u);
+  // Out-adjacency.
+  EXPECT_EQ(graph.OutDegree(0), 2u);
+  EXPECT_EQ(graph.OutDegree(3), 1u);
+  // In-adjacency.
+  EXPECT_EQ(graph.InDegree(2), 2u);
+  EXPECT_EQ(graph.InDegree(0), 1u);
+  // Every out-edge appears as an in-edge.
+  for (Vertex u = 0; u < graph.NumVertices(); ++u) {
+    for (Vertex v : graph.OutNeighbors(u)) {
+      const auto in = graph.InNeighbors(v);
+      EXPECT_TRUE(std::find(in.begin(), in.end(), u) != in.end())
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(DirectedGraphTest, NeighborsAreSorted) {
+  const DirectedGraph graph =
+      GraphFromEdges(5, {{0, 4}, {0, 1}, {0, 3}, {2, 0}, {1, 0}});
+  const auto out = graph.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  const auto in = graph.InNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(DirectedGraphTest, HasEdge) {
+  const DirectedGraph graph = GraphFromEdges(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_TRUE(graph.HasEdge(1, 2));
+  EXPECT_FALSE(graph.HasEdge(1, 0));
+  EXPECT_FALSE(graph.HasEdge(0, 2));
+}
+
+TEST(DirectedGraphTest, EdgesRoundTrip) {
+  const std::vector<Edge> edges = {{0, 1}, {0, 2}, {2, 1}, {3, 0}};
+  const DirectedGraph graph = GraphFromEdges(4, edges);
+  std::vector<Edge> out = graph.Edges();
+  std::vector<Edge> expected = edges;
+  auto less = [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  };
+  std::sort(out.begin(), out.end(), less);
+  std::sort(expected.begin(), expected.end(), less);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(DirectedGraphTest, ParallelEdgesAreKeptWithoutDeduplicate) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  const DirectedGraph graph = builder.Build();
+  EXPECT_EQ(graph.NumEdges(), 2u);
+  EXPECT_EQ(graph.OutDegree(0), 2u);
+}
+
+TEST(DirectedGraphTest, RandomInNeighborIsUniform) {
+  const DirectedGraph graph = GraphFromEdges(4, {{1, 0}, {2, 0}, {3, 0}});
+  Rng rng(42);
+  std::vector<int> counts(4, 0);
+  constexpr int kSamples = 30000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Vertex w = graph.RandomInNeighbor(0, rng);
+    ASSERT_NE(w, kNoVertex);
+    ++counts[w];
+  }
+  EXPECT_EQ(counts[0], 0);
+  for (Vertex v = 1; v <= 3; ++v) {
+    EXPECT_NEAR(counts[v], kSamples / 3.0, kSamples * 0.02);
+  }
+}
+
+TEST(DirectedGraphTest, RandomInNeighborOfDanglingVertexIsNoVertex) {
+  const DirectedGraph graph = GraphFromEdges(2, {{0, 1}});
+  Rng rng(1);
+  EXPECT_EQ(graph.RandomInNeighbor(0, rng), kNoVertex);
+  EXPECT_EQ(graph.RandomInNeighbor(1, rng), 0u);
+}
+
+TEST(DirectedGraphTest, MemoryBytesScalesWithSize) {
+  const DirectedGraph small = GraphFromEdges(4, {{0, 1}});
+  Rng rng(9);
+  const DirectedGraph big = MakeErdosRenyi(1000, 5000, rng);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+  // CSR footprint: 2(n+1) offsets * 8B + 2m targets * 4B, plus slack.
+  const uint64_t expected =
+      2 * (big.NumVertices() + 1) * 8 + 2 * big.NumEdges() * 4;
+  EXPECT_GE(big.MemoryBytes(), expected);
+  EXPECT_LE(big.MemoryBytes(), expected * 2);
+}
+
+// ---------- GraphBuilder ----------
+
+TEST(GraphBuilderTest, ImplicitVertexGrowth) {
+  GraphBuilder builder;
+  builder.AddEdge(7, 3);
+  EXPECT_EQ(builder.NumVertices(), 8u);
+  const DirectedGraph graph = builder.Build();
+  EXPECT_EQ(graph.NumVertices(), 8u);
+  EXPECT_TRUE(graph.HasEdge(7, 3));
+}
+
+TEST(GraphBuilderTest, ReserveVerticesCreatesIsolated) {
+  GraphBuilder builder;
+  builder.ReserveVertices(10);
+  builder.AddEdge(0, 1);
+  EXPECT_EQ(builder.Build().NumVertices(), 10u);
+}
+
+TEST(GraphBuilderTest, DeduplicateRemovesDuplicatesAndLoops) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 1);
+  builder.AddEdge(1, 0);
+  builder.Deduplicate();
+  const DirectedGraph graph = builder.Build();
+  EXPECT_EQ(graph.NumEdges(), 2u);
+  EXPECT_FALSE(graph.HasEdge(1, 1));
+}
+
+TEST(GraphBuilderTest, DeduplicateCanKeepSelfLoops) {
+  GraphBuilder builder;
+  builder.AddEdge(1, 1);
+  builder.AddEdge(1, 1);
+  builder.Deduplicate(/*remove_self_loops=*/false);
+  EXPECT_EQ(builder.Build().NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, AddUndirectedEdgeAddsBothArcs) {
+  GraphBuilder builder;
+  builder.AddUndirectedEdge(0, 1);
+  const DirectedGraph graph = builder.Build();
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_TRUE(graph.HasEdge(1, 0));
+}
+
+// ---------- GraphStats ----------
+
+TEST(GraphStatsTest, CountsBasicQuantities) {
+  // 0->1, 0->2, 1->0 (reciprocal with 0->1), 3 dangling-in? in-degrees:
+  // 0: {1}, 1: {0}, 2: {0}, 3: {} -> one dangling vertex.
+  const DirectedGraph graph = GraphFromEdges(4, {{0, 1}, {0, 2}, {1, 0}});
+  const GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_EQ(stats.num_vertices, 4u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  EXPECT_EQ(stats.num_dangling, 1u);
+  EXPECT_EQ(stats.num_self_loops, 0u);
+  // Reciprocal pairs: 0->1 and 1->0 -> 2 of 3 edges.
+  EXPECT_NEAR(stats.reciprocity, 2.0 / 3.0, 1e-12);
+}
+
+TEST(GraphStatsTest, UndirectedGraphHasFullReciprocity) {
+  const GraphStats stats = ComputeGraphStats(testing::ExampleOneStar());
+  EXPECT_DOUBLE_EQ(stats.reciprocity, 1.0);
+  EXPECT_EQ(stats.num_dangling, 0u);
+}
+
+TEST(GraphStatsTest, ToStringMentionsCoreNumbers) {
+  const GraphStats stats =
+      ComputeGraphStats(GraphFromEdges(3, {{0, 1}, {1, 2}}));
+  const std::string str = ToString(stats);
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+  EXPECT_NE(str.find("m=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simrank

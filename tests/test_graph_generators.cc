@@ -1,0 +1,195 @@
+// Property tests for the synthetic graph generators, including the
+// parameterized sweeps the dataset registry relies on.
+
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+#include "graph/traversal.h"
+#include "util/rng.h"
+
+namespace simrank {
+namespace {
+
+TEST(StarTest, MatchesExampleOneStructure) {
+  // Example 1 of the paper: claw = star with 3 leaves, undirected.
+  const DirectedGraph star = MakeStar(3);
+  ASSERT_EQ(star.NumVertices(), 4u);
+  EXPECT_EQ(star.NumEdges(), 6u);
+  EXPECT_EQ(star.InDegree(0), 3u);
+  for (Vertex leaf = 1; leaf <= 3; ++leaf) {
+    EXPECT_EQ(star.InDegree(leaf), 1u);
+    EXPECT_EQ(star.OutDegree(leaf), 1u);
+    EXPECT_TRUE(star.HasEdge(0, leaf));
+    EXPECT_TRUE(star.HasEdge(leaf, 0));
+  }
+}
+
+TEST(PathTest, HasChainStructure) {
+  const DirectedGraph path = MakePath(5);
+  EXPECT_EQ(path.NumVertices(), 5u);
+  EXPECT_EQ(path.NumEdges(), 8u);  // 4 undirected edges
+  EXPECT_EQ(path.InDegree(0), 1u);
+  EXPECT_EQ(path.InDegree(2), 2u);
+}
+
+TEST(CycleTest, DirectedCycleInDegreesAreOne) {
+  const DirectedGraph cycle = MakeCycle(6, /*undirected=*/false);
+  EXPECT_EQ(cycle.NumEdges(), 6u);
+  for (Vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(cycle.InDegree(v), 1u);
+    EXPECT_EQ(cycle.OutDegree(v), 1u);
+  }
+}
+
+TEST(CycleTest, UndirectedCycleDegreesAreTwo) {
+  const DirectedGraph cycle = MakeCycle(6, /*undirected=*/true);
+  EXPECT_EQ(cycle.NumEdges(), 12u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(cycle.InDegree(v), 2u);
+}
+
+TEST(CycleTest, TwoCycleHasNoDuplicates) {
+  const DirectedGraph cycle = MakeCycle(2, /*undirected=*/true);
+  EXPECT_EQ(cycle.NumEdges(), 2u);  // 0->1 and 1->0 exactly once
+}
+
+TEST(CompleteTest, AllPairsPresent) {
+  const DirectedGraph complete = MakeComplete(5);
+  EXPECT_EQ(complete.NumEdges(), 20u);
+  for (Vertex u = 0; u < 5; ++u) {
+    EXPECT_EQ(complete.OutDegree(u), 4u);
+    EXPECT_EQ(complete.InDegree(u), 4u);
+    EXPECT_FALSE(complete.HasEdge(u, u));
+  }
+}
+
+TEST(GridTest, CornerAndInteriorDegrees) {
+  const DirectedGraph grid = MakeGrid(3, 4);
+  EXPECT_EQ(grid.NumVertices(), 12u);
+  EXPECT_EQ(grid.InDegree(0), 2u);       // corner
+  EXPECT_EQ(grid.InDegree(1 * 4 + 1), 4u);  // interior
+}
+
+TEST(ErdosRenyiTest, ApproximatesRequestedEdgeCount) {
+  Rng rng(11);
+  const DirectedGraph graph = MakeErdosRenyi(500, 3000, rng);
+  EXPECT_EQ(graph.NumVertices(), 500u);
+  EXPECT_NEAR(static_cast<double>(graph.NumEdges()), 3000.0, 300.0);
+  const GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_EQ(stats.num_self_loops, 0u);
+}
+
+TEST(ErdosRenyiTest, UndirectedVariantIsSymmetric) {
+  Rng rng(12);
+  const DirectedGraph graph = MakeErdosRenyi(200, 800, rng, true);
+  EXPECT_DOUBLE_EQ(ComputeGraphStats(graph).reciprocity, 1.0);
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  Rng rng_a(13), rng_b(13);
+  const DirectedGraph a = MakeErdosRenyi(100, 400, rng_a);
+  const DirectedGraph b = MakeErdosRenyi(100, 400, rng_b);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(BarabasiAlbertTest, EdgeCountAndConnectivity) {
+  Rng rng(14);
+  const DirectedGraph graph = MakeBarabasiAlbert(1000, 3, rng);
+  EXPECT_EQ(graph.NumVertices(), 1000u);
+  // arcs ~ 2 * (seed clique + 3 per new vertex), minus dedup losses.
+  EXPECT_NEAR(static_cast<double>(graph.NumEdges()), 6000.0, 400.0);
+  const ComponentStats cc = WeaklyConnectedComponents(graph);
+  EXPECT_EQ(cc.num_components, 1u);
+  EXPECT_DOUBLE_EQ(ComputeGraphStats(graph).reciprocity, 1.0);
+}
+
+TEST(BarabasiAlbertTest, ProducesSkewedDegrees) {
+  Rng rng(15);
+  const DirectedGraph graph = MakeBarabasiAlbert(2000, 2, rng);
+  const GraphStats stats = ComputeGraphStats(graph);
+  // A hub should attract far more than the average degree.
+  EXPECT_GT(stats.max_in_degree, 10 * stats.average_degree);
+}
+
+TEST(RmatTest, StaysWithinVertexBudgetAndIsSkewed) {
+  Rng rng(16);
+  const DirectedGraph graph = MakeRmat(12, 20000, rng);
+  EXPECT_EQ(graph.NumVertices(), 4096u);
+  EXPECT_GT(graph.NumEdges(), 10000u);
+  EXPECT_LE(graph.NumEdges(), 20000u);
+  const GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_GT(stats.max_in_degree, 20 * stats.average_degree);
+}
+
+TEST(RmatTest, UndirectedVariantIsSymmetric) {
+  Rng rng(17);
+  RmatParams params;
+  params.undirected = true;
+  const DirectedGraph graph = MakeRmat(10, 4000, rng, params);
+  EXPECT_DOUBLE_EQ(ComputeGraphStats(graph).reciprocity, 1.0);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRegularRing) {
+  Rng rng(18);
+  const DirectedGraph graph = MakeWattsStrogatz(100, 2, 0.0, rng);
+  for (Vertex v = 0; v < 100; ++v) {
+    EXPECT_EQ(graph.InDegree(v), 4u) << v;
+  }
+}
+
+TEST(WattsStrogatzTest, RewiringShortensDistances) {
+  Rng rng_a(19), rng_b(19);
+  const DirectedGraph ring = MakeWattsStrogatz(500, 2, 0.0, rng_a);
+  const DirectedGraph small_world = MakeWattsStrogatz(500, 2, 0.2, rng_b);
+  Rng rng_c(20), rng_d(20);
+  const double ring_distance = EstimateAverageDistance(ring, 20, rng_c);
+  const double sw_distance = EstimateAverageDistance(small_world, 20, rng_d);
+  EXPECT_LT(sw_distance, ring_distance * 0.5);
+}
+
+TEST(CopyingModelTest, IsAcyclicAndRespectsOutDegree) {
+  Rng rng(21);
+  const DirectedGraph graph = MakeCopyingModel(500, 4, 0.7, rng);
+  EXPECT_EQ(graph.NumVertices(), 500u);
+  for (Vertex v = 0; v < 500; ++v) {
+    EXPECT_LE(graph.OutDegree(v), 4u);
+    // Citations only point to earlier vertices (acyclic by construction).
+    for (Vertex w : graph.OutNeighbors(v)) EXPECT_LT(w, v);
+  }
+}
+
+TEST(CopyingModelTest, CopyingCreatesPopularPapers) {
+  Rng rng(22);
+  const DirectedGraph graph = MakeCopyingModel(3000, 5, 0.8, rng);
+  const GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_GT(stats.max_in_degree, 15 * stats.average_degree);
+}
+
+// Parameterized determinism sweep: every generator must be a pure function
+// of (arguments, seed).
+class GeneratorDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorDeterminismTest, AllGeneratorsAreDeterministic) {
+  const uint64_t seed = GetParam();
+  auto run_all = [seed]() {
+    std::vector<std::vector<Edge>> snapshots;
+    Rng rng(seed);
+    snapshots.push_back(MakeErdosRenyi(100, 300, rng).Edges());
+    snapshots.push_back(MakeBarabasiAlbert(100, 2, rng).Edges());
+    snapshots.push_back(MakeRmat(8, 600, rng).Edges());
+    snapshots.push_back(MakeWattsStrogatz(100, 2, 0.1, rng).Edges());
+    snapshots.push_back(MakeCopyingModel(100, 3, 0.6, rng).Edges());
+    return snapshots;
+  };
+  EXPECT_EQ(run_all(), run_all());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDeterminismTest,
+                         ::testing::Values(1, 7, 42, 2026));
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,148 @@
+// Tests for graph transforms (reverse, induced subgraph, largest
+// component, permutation) and the SimRank label-invariance property they
+// enable.
+
+#include "graph/transform.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "simrank/naive.h"
+#include "simrank/partial_sums.h"
+#include "test_helpers.h"
+
+namespace simrank {
+namespace {
+
+using ::simrank::testing::GraphFromEdges;
+
+TEST(ReverseGraphTest, SwapsAdjacency) {
+  const DirectedGraph graph = GraphFromEdges(3, {{0, 1}, {0, 2}, {1, 2}});
+  const DirectedGraph reversed = ReverseGraph(graph);
+  EXPECT_EQ(reversed.NumEdges(), 3u);
+  EXPECT_TRUE(reversed.HasEdge(1, 0));
+  EXPECT_TRUE(reversed.HasEdge(2, 0));
+  EXPECT_TRUE(reversed.HasEdge(2, 1));
+  EXPECT_FALSE(reversed.HasEdge(0, 1));
+}
+
+TEST(ReverseGraphTest, DoubleReverseIsIdentity) {
+  const DirectedGraph graph = testing::SmallRandomGraph(60, 1001, 40);
+  const DirectedGraph twice = ReverseGraph(ReverseGraph(graph));
+  EXPECT_EQ(graph.Edges(), twice.Edges());
+}
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  // 0->1->2->3, 0->3; select {0, 1, 3}.
+  const DirectedGraph graph =
+      GraphFromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  const std::vector<Vertex> selection = {0, 1, 3};
+  const InducedSubgraph sub = ExtractInducedSubgraph(graph, selection);
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);  // 0->1 and 0->3 survive
+  EXPECT_TRUE(sub.graph.HasEdge(sub.old_to_new[0], sub.old_to_new[1]));
+  EXPECT_TRUE(sub.graph.HasEdge(sub.old_to_new[0], sub.old_to_new[3]));
+  EXPECT_EQ(sub.old_to_new[2], kNoVertex);
+  for (Vertex w = 0; w < 3; ++w) {
+    EXPECT_EQ(sub.old_to_new[sub.new_to_old[w]], w);
+  }
+}
+
+TEST(InducedSubgraphTest, DuplicateSelectionsAreIgnored) {
+  const DirectedGraph graph = GraphFromEdges(3, {{0, 1}});
+  const std::vector<Vertex> selection = {1, 1, 0, 1};
+  const InducedSubgraph sub = ExtractInducedSubgraph(graph, selection);
+  EXPECT_EQ(sub.graph.NumVertices(), 2u);
+  EXPECT_EQ(sub.new_to_old[0], 1u);  // first-appearance order
+  EXPECT_EQ(sub.new_to_old[1], 0u);
+}
+
+TEST(LargestComponentTest, SelectsTheBigOne) {
+  // Components: {0,1,2} (chain), {3,4}, {5}.
+  const DirectedGraph graph = GraphFromEdges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const InducedSubgraph sub = ExtractLargestComponent(graph);
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);
+  std::set<Vertex> members(sub.new_to_old.begin(), sub.new_to_old.end());
+  EXPECT_EQ(members, (std::set<Vertex>{0, 1, 2}));
+}
+
+TEST(LargestComponentTest, ConnectedGraphIsUnchangedUpToLabels) {
+  Rng rng(1002);
+  const DirectedGraph graph = MakeBarabasiAlbert(100, 2, rng);
+  const InducedSubgraph sub = ExtractLargestComponent(graph);
+  EXPECT_EQ(sub.graph.NumVertices(), graph.NumVertices());
+  EXPECT_EQ(sub.graph.NumEdges(), graph.NumEdges());
+}
+
+TEST(LargestComponentTest, EmptyGraph) {
+  const InducedSubgraph sub = ExtractLargestComponent(DirectedGraph());
+  EXPECT_EQ(sub.graph.NumVertices(), 0u);
+}
+
+TEST(PermutationTest, RandomPermutationIsBijective) {
+  Rng rng(1003);
+  const std::vector<Vertex> permutation = RandomPermutation(500, rng);
+  std::vector<bool> seen(500, false);
+  for (Vertex v : permutation) {
+    ASSERT_LT(v, 500u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(PermutationTest, RandomPermutationIsNotIdentityForLargeN) {
+  Rng rng(1004);
+  const std::vector<Vertex> permutation = RandomPermutation(200, rng);
+  int fixed_points = 0;
+  for (Vertex v = 0; v < 200; ++v) {
+    if (permutation[v] == v) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 20);  // E[fixed points] = 1
+}
+
+TEST(PermutationTest, PermuteVerticesPreservesStructure) {
+  const DirectedGraph graph = testing::SmallRandomGraph(50, 1005, 30);
+  Rng rng(1006);
+  const std::vector<Vertex> permutation =
+      RandomPermutation(graph.NumVertices(), rng);
+  const DirectedGraph relabeled = PermuteVertices(graph, permutation);
+  EXPECT_EQ(relabeled.NumEdges(), graph.NumEdges());
+  for (Vertex u = 0; u < graph.NumVertices(); ++u) {
+    EXPECT_EQ(relabeled.OutDegree(permutation[u]), graph.OutDegree(u)) << u;
+    EXPECT_EQ(relabeled.InDegree(permutation[u]), graph.InDegree(u)) << u;
+    for (Vertex v : graph.OutNeighbors(u)) {
+      EXPECT_TRUE(relabeled.HasEdge(permutation[u], permutation[v]));
+    }
+  }
+}
+
+TEST(PermutationTest, SimRankIsLabelInvariant) {
+  // The headline property test: exact SimRank commutes with relabeling.
+  for (uint64_t seed : {1007ULL, 1008ULL}) {
+    const DirectedGraph graph = testing::SmallRandomGraph(60, seed, 40);
+    Rng rng(seed + 1);
+    const std::vector<Vertex> permutation =
+        RandomPermutation(graph.NumVertices(), rng);
+    const DirectedGraph relabeled = PermuteVertices(graph, permutation);
+    SimRankParams params;
+    params.decay = 0.6;
+    params.num_steps = 12;
+    const DenseMatrix original = ComputeSimRankPartialSums(graph, params);
+    const DenseMatrix mapped = ComputeSimRankPartialSums(relabeled, params);
+    for (Vertex u = 0; u < graph.NumVertices(); ++u) {
+      for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+        ASSERT_NEAR(original.At(u, v),
+                    mapped.At(permutation[u], permutation[v]), 1e-12)
+            << u << "," << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,49 @@
+#ifndef SIMRANK_TESTS_TEST_HELPERS_H_
+#define SIMRANK_TESTS_TEST_HELPERS_H_
+
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace simrank::testing {
+
+/// Builds a directed graph from an explicit edge list.
+inline DirectedGraph GraphFromEdges(Vertex n,
+                                    const std::vector<Edge>& edges) {
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  for (const Edge& e : edges) builder.AddEdge(e.from, e.to);
+  return builder.Build();
+}
+
+/// A small, connected, skewed random graph for property tests: BA backbone
+/// plus extra random directed edges (so in-degrees differ from
+/// out-degrees and some vertices may be reciprocal hubs).
+inline DirectedGraph SmallRandomGraph(Vertex n, uint64_t seed,
+                                      uint32_t extra_edges = 0) {
+  Rng rng(seed);
+  DirectedGraph base = MakeBarabasiAlbert(n, 2, rng);
+  if (extra_edges == 0) return base;
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  for (const Edge& e : base.Edges()) builder.AddEdge(e.from, e.to);
+  for (uint32_t i = 0; i < extra_edges; ++i) {
+    const Vertex u = rng.UniformIndex(n);
+    Vertex v = rng.UniformIndex(n - 1);
+    if (v >= u) ++v;
+    builder.AddEdge(u, v);
+  }
+  builder.Deduplicate();
+  return builder.Build();
+}
+
+/// The paper's Example 1 graph: undirected star with 3 leaves ("claw"),
+/// center = vertex 0.
+inline DirectedGraph ExampleOneStar() { return MakeStar(3); }
+
+}  // namespace simrank::testing
+
+#endif  // SIMRANK_TESTS_TEST_HELPERS_H_

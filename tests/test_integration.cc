@@ -1,0 +1,128 @@
+// Cross-module integration tests: the full pipeline (dataset generation ->
+// preprocess -> query) validated against the deterministic single-source
+// oracle, plus cross-estimator agreement on a mid-size graph.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "graph/stats.h"
+#include "simrank/fogaras_racz.h"
+#include "simrank/linear.h"
+#include "simrank/top_k_searcher.h"
+#include "util/top_k.h"
+
+namespace simrank {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnSyntheticCollaborationNetwork) {
+  const auto spec = *eval::FindDataset("syn-ca-grqc", 0.5);
+  const DirectedGraph graph = eval::Generate(spec);
+  SearchOptions options;
+  options.simrank.decay = 0.6;
+  options.simrank.num_steps = 11;
+  options.k = 10;
+  options.threshold = 0.02;
+  options.seed = 321;
+  TopKSearcher searcher(graph, options);
+  searcher.BuildIndex();
+  EXPECT_GT(searcher.preprocess_seconds(), 0.0);
+  EXPECT_GT(searcher.PreprocessBytes(), 0u);
+
+  const LinearSimRank oracle(
+      graph, options.simrank,
+      UniformDiagonal(graph.NumVertices(), options.simrank.decay));
+  QueryWorkspace workspace(searcher);
+  double precision = 0.0;
+  int queries = 0;
+  for (Vertex u = 0; u < graph.NumVertices(); u += 53) {
+    const auto truth = oracle.TopK(u, options.k, options.threshold);
+    if (truth.size() < 3) continue;
+    const QueryResult result = searcher.Query(u, workspace);
+    precision += eval::PrecisionAtK(result.top, truth, truth.size());
+    ++queries;
+  }
+  ASSERT_GE(queries, 5);
+  EXPECT_GT(precision / queries, 0.8);
+}
+
+TEST(IntegrationTest, WebGraphQueriesTouchOnlyLocalArea) {
+  // §5/§8: on web-like graphs the search stays local — candidates at
+  // most a small fraction of n for typical queries.
+  const auto spec = *eval::FindDataset("syn-web-stanford", 0.02);
+  const DirectedGraph graph = eval::Generate(spec);
+  SearchOptions options;
+  options.k = 20;
+  options.seed = 55;
+  TopKSearcher searcher(graph, options);
+  searcher.BuildIndex();
+  QueryWorkspace workspace(searcher);
+  uint64_t total_candidates = 0;
+  uint32_t queries = 0;
+  Rng rng(77);
+  for (int i = 0; i < 30; ++i) {
+    const Vertex u = rng.UniformIndex(graph.NumVertices());
+    total_candidates +=
+        searcher.Query(u, workspace).stats.candidates_enumerated;
+    ++queries;
+  }
+  const double mean_candidates =
+      static_cast<double>(total_candidates) / queries;
+  EXPECT_LT(mean_candidates, 0.25 * graph.NumVertices());
+}
+
+TEST(IntegrationTest, ProposedAndFogarasRaczAgreeOnStrongPairs) {
+  // Two conceptually different estimators (linear-formulation MC vs
+  // first-meeting coupling) must agree on which pairs are strongly
+  // similar. F-R estimates true SimRank while the searcher scores the
+  // D=(1-c)I approximation, so compare rankings, not raw values.
+  const auto spec = *eval::FindDataset("syn-ca-hepth", 0.3);
+  const DirectedGraph graph = eval::Generate(spec);
+  SimRankParams params;
+  params.decay = 0.6;
+  params.num_steps = 11;
+  SearchOptions options;
+  options.simrank = params;
+  options.k = 5;
+  options.threshold = 0.0;
+  TopKSearcher searcher(graph, options);
+  searcher.BuildIndex();
+  const FogarasRaczIndex fr(graph, params, 200, 88);
+  QueryWorkspace workspace(searcher);
+  int overlaps = 0, trials = 0;
+  Rng rng(99);
+  for (int i = 0; i < 15; ++i) {
+    const Vertex u = rng.UniformIndex(graph.NumVertices());
+    const auto ours = searcher.Query(u, workspace).top;
+    const auto theirs = fr.TopK(u, 5, 0.0);
+    if (ours.empty() || theirs.empty()) continue;
+    ++trials;
+    // The #1 result of one method should appear in the other's top-5.
+    for (const ScoredVertex& entry : theirs) {
+      if (entry.vertex == ours[0].vertex) {
+        ++overlaps;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(trials, 5);
+  EXPECT_GE(static_cast<double>(overlaps) / trials, 0.6);
+}
+
+TEST(IntegrationTest, DatasetStatsAreReasonableForBenchCorpus) {
+  // Guard the bench harness: the scaled-down corpus keeps the structural
+  // signatures the experiments depend on.
+  for (const auto& spec : eval::SmallDatasets(0.5)) {
+    const DirectedGraph graph = eval::Generate(spec);
+    const GraphStats stats = ComputeGraphStats(graph);
+    EXPECT_GT(stats.average_degree, 1.0) << spec.name;
+    EXPECT_EQ(stats.num_self_loops, 0u) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace simrank

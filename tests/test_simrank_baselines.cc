@@ -1,0 +1,173 @@
+// Tests for the comparator algorithms: the random surfer-pair estimator,
+// the Fogaras-Racz coupled-walk index, and the Yu et al. all-pairs
+// baseline.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "simrank/fogaras_racz.h"
+#include "simrank/naive.h"
+#include "simrank/partial_sums.h"
+#include "simrank/surfer_pair.h"
+#include "simrank/yu_all_pairs.h"
+#include "test_helpers.h"
+
+namespace simrank {
+namespace {
+
+SimRankParams Params(double decay, uint32_t steps) {
+  SimRankParams params;
+  params.decay = decay;
+  params.num_steps = steps;
+  return params;
+}
+
+// ---------- surfer-pair model ----------
+
+TEST(SurferPairTest, IdenticalVerticesScoreOne) {
+  const DirectedGraph graph = testing::SmallRandomGraph(30, 501);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(
+      SurferPairSimRank(graph, 4, 4, Params(0.6, 11), 10, rng), 1.0);
+}
+
+TEST(SurferPairTest, MatchesClosedFormOnSharedParent) {
+  // 2 -> 0, 2 -> 1: both walks move to 2 deterministically, tau = 1, so
+  // every trial contributes exactly c.
+  const DirectedGraph graph = testing::GraphFromEdges(3, {{2, 0}, {2, 1}});
+  Rng rng(2);
+  EXPECT_NEAR(SurferPairSimRank(graph, 0, 1, Params(0.6, 11), 500, rng), 0.6,
+              1e-12);
+}
+
+TEST(SurferPairTest, ConvergesToTrueSimRankOnRandomGraphs) {
+  // E[c^tau] = s(u,v): the estimator is unbiased for the true (infinite-
+  // horizon) SimRank up to c^T truncation.
+  const DirectedGraph graph = testing::SmallRandomGraph(50, 502, 30);
+  const SimRankParams params = Params(0.6, 25);
+  const DenseMatrix exact = ComputeSimRankNaive(graph, params);
+  Rng rng(3);
+  for (const auto& [u, v] :
+       std::vector<std::pair<Vertex, Vertex>>{{0, 1}, {2, 7}, {5, 11}}) {
+    const double estimate =
+        SurferPairSimRank(graph, u, v, params, 60000, rng);
+    EXPECT_NEAR(estimate, exact.At(u, v), 0.01)
+        << u << "," << v << " exact=" << exact.At(u, v);
+  }
+}
+
+TEST(SurferPairTest, DeadWalksNeverMeet) {
+  const DirectedGraph chain = testing::GraphFromEdges(3, {{0, 1}, {1, 2}});
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(
+      SurferPairSimRank(chain, 1, 2, Params(0.6, 11), 100, rng), 0.0);
+}
+
+// ---------- Fogaras-Racz ----------
+
+TEST(FogarasRaczTest, SinglePairIsDeterministicGivenSeed) {
+  const DirectedGraph graph = testing::SmallRandomGraph(40, 503, 20);
+  const FogarasRaczIndex a(graph, Params(0.6, 11), 50, 9);
+  const FogarasRaczIndex b(graph, Params(0.6, 11), 50, 9);
+  EXPECT_DOUBLE_EQ(a.SinglePair(0, 1), b.SinglePair(0, 1));
+}
+
+TEST(FogarasRaczTest, CoupledWalksMergeAndStayMerged) {
+  // Coupling property: in any sample, once two walks meet they follow the
+  // same next-function forever. Consequence: s(u,v) estimated for (u,w)
+  // and (v,w) with a shared u=v prefix is consistent; we check the simplest
+  // observable — SinglePair(u,u) = 1.
+  const DirectedGraph graph = testing::SmallRandomGraph(40, 504, 20);
+  const FogarasRaczIndex index(graph, Params(0.6, 11), 20, 10);
+  for (Vertex u = 0; u < 40; u += 5) {
+    EXPECT_DOUBLE_EQ(index.SinglePair(u, u), 1.0);
+  }
+}
+
+TEST(FogarasRaczTest, ConvergesToTrueSimRank) {
+  const DirectedGraph graph = testing::SmallRandomGraph(50, 505, 30);
+  const SimRankParams params = Params(0.6, 25);
+  const DenseMatrix exact = ComputeSimRankNaive(graph, params);
+  const FogarasRaczIndex index(graph, params, 40000, 11);
+  for (const auto& [u, v] :
+       std::vector<std::pair<Vertex, Vertex>>{{0, 1}, {3, 9}, {2, 5}}) {
+    EXPECT_NEAR(index.SinglePair(u, v), exact.At(u, v), 0.015)
+        << u << "," << v;
+  }
+}
+
+TEST(FogarasRaczTest, SingleSourceMatchesSinglePair) {
+  const DirectedGraph graph = testing::SmallRandomGraph(60, 506, 40);
+  const FogarasRaczIndex index(graph, Params(0.6, 11), 80, 12);
+  for (Vertex u : {0u, 17u}) {
+    const std::vector<double> row = index.SingleSource(u);
+    ASSERT_EQ(row.size(), graph.NumVertices());
+    EXPECT_DOUBLE_EQ(row[u], 1.0);
+    for (Vertex v = 0; v < graph.NumVertices(); v += 7) {
+      if (v == u) continue;
+      EXPECT_NEAR(row[v], index.SinglePair(u, v), 1e-12) << u << "," << v;
+    }
+  }
+}
+
+TEST(FogarasRaczTest, TopKRankingAgreesWithSingleSource) {
+  const DirectedGraph graph = testing::SmallRandomGraph(80, 507, 50);
+  const FogarasRaczIndex index(graph, Params(0.6, 11), 100, 13);
+  const Vertex u = 5;
+  const std::vector<double> row = index.SingleSource(u);
+  const auto top = index.TopK(u, 10);
+  ASSERT_LE(top.size(), 10u);
+  for (size_t i = 0; i + 1 < top.size(); ++i) {
+    EXPECT_GE(top[i].score, top[i + 1].score);
+  }
+  for (const ScoredVertex& entry : top) {
+    EXPECT_NE(entry.vertex, u);
+    EXPECT_DOUBLE_EQ(entry.score, row[entry.vertex]);
+  }
+}
+
+TEST(FogarasRaczTest, MemoryGrowsLinearlyInFingerprintsAndSize) {
+  const DirectedGraph graph = testing::SmallRandomGraph(100, 508, 40);
+  const FogarasRaczIndex small(graph, Params(0.6, 11), 10, 14);
+  const FogarasRaczIndex large(graph, Params(0.6, 11), 40, 14);
+  EXPECT_EQ(large.MemoryBytes(), 4 * small.MemoryBytes());
+  // This Theta(R' T n) footprint is the baseline's scalability wall
+  // (Table 4): it dwarfs the O(m) graph itself.
+  EXPECT_GT(large.MemoryBytes(), graph.MemoryBytes());
+}
+
+// ---------- Yu et al. all-pairs ----------
+
+TEST(YuAllPairsTest, MatchesPartialSums) {
+  const DirectedGraph graph = testing::SmallRandomGraph(60, 509, 40);
+  const SimRankParams params = Params(0.6, 11);
+  const YuAllPairsResult result = RunYuAllPairs(graph, params);
+  const DenseMatrix reference = ComputeSimRankPartialSums(graph, params);
+  EXPECT_LT(result.scores.MaxAbsDiff(reference), 1e-12);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_EQ(result.memory_bytes, 2 * result.scores.MemoryBytes());
+}
+
+TEST(YuAllPairsTest, QuadraticMemoryIsReportedHonestly) {
+  const DirectedGraph graph = testing::SmallRandomGraph(100, 510, 40);
+  const YuAllPairsResult result = RunYuAllPairs(graph, Params(0.6, 5));
+  EXPECT_GE(result.memory_bytes, 2ull * 100 * 100 * sizeof(double));
+}
+
+TEST(TopKFromMatrixTest, ExtractsRankingWithThreshold) {
+  DenseMatrix scores(4, 0.0);
+  scores.At(0, 1) = 0.9;
+  scores.At(0, 2) = 0.05;
+  scores.At(0, 3) = 0.5;
+  scores.At(0, 0) = 1.0;
+  const auto top = TopKFromMatrix(scores, 0, 10, 0.1);
+  ASSERT_EQ(top.size(), 2u);  // self excluded, 0.05 under threshold
+  EXPECT_EQ(top[0].vertex, 1u);
+  EXPECT_EQ(top[1].vertex, 3u);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,122 @@
+// Tests for the fixed-point diagonal-correction estimator (the "estimate D
+// more accurately" extension of §3.3).
+
+#include "simrank/diagonal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simrank/linear.h"
+#include "simrank/naive.h"
+#include "test_helpers.h"
+
+namespace simrank {
+namespace {
+
+SimRankParams Params(double decay, uint32_t steps) {
+  SimRankParams params;
+  params.decay = decay;
+  params.num_steps = steps;
+  return params;
+}
+
+TEST(DiagonalFixedPointTest, RecoversExampleOneDiagonal) {
+  const DirectedGraph star = testing::ExampleOneStar();
+  const SimRankParams params = Params(0.8, 60);
+  DiagonalEstimateOptions options;
+  options.max_iterations = 400;
+  options.tolerance = 1e-10;
+  const std::vector<double> diag =
+      EstimateDiagonalFixedPoint(star, params, options);
+  EXPECT_NEAR(diag[0], 23.0 / 75.0, 1e-6);
+  EXPECT_NEAR(diag[1], 0.2, 1e-6);
+  EXPECT_NEAR(diag[2], 0.2, 1e-6);
+  EXPECT_NEAR(diag[3], 0.2, 1e-6);
+}
+
+TEST(DiagonalFixedPointTest, MatchesExactDiagonalOnRandomGraphs) {
+  for (uint64_t seed : {201ULL, 202ULL}) {
+    const DirectedGraph graph = testing::SmallRandomGraph(40, seed, 25);
+    const SimRankParams params = Params(0.6, 30);
+    const DenseMatrix exact = ComputeSimRankNaive(graph, params);
+    const std::vector<double> reference =
+        ExactDiagonalCorrection(graph, exact, params);
+    DiagonalEstimateOptions options;
+    options.max_iterations = 150;
+    options.tolerance = 1e-9;
+    double residual = 1.0;
+    const std::vector<double> estimated =
+        EstimateDiagonalFixedPoint(graph, params, options, nullptr,
+                                   &residual);
+    EXPECT_LT(residual, 1e-8);
+    for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+      EXPECT_NEAR(estimated[v], reference[v], 1e-5) << "seed=" << seed
+                                                    << " v=" << v;
+    }
+  }
+}
+
+TEST(DiagonalFixedPointTest, DiagonalScoresBecomeOne) {
+  const DirectedGraph graph = testing::SmallRandomGraph(50, 203, 30);
+  const SimRankParams params = Params(0.6, 25);
+  DiagonalEstimateOptions options;
+  options.max_iterations = 150;
+  options.tolerance = 1e-8;
+  const std::vector<double> diag =
+      EstimateDiagonalFixedPoint(graph, params, options);
+  const LinearSimRank linear(graph, params, diag);
+  for (Vertex v = 0; v < graph.NumVertices(); v += 3) {
+    EXPECT_NEAR(linear.SinglePair(v, v), 1.0, 1e-6) << v;
+  }
+}
+
+TEST(DiagonalFixedPointTest, StaysWithinPropositionTwoRange) {
+  const DirectedGraph graph = testing::SmallRandomGraph(60, 204, 40);
+  const SimRankParams params = Params(0.8, 40);
+  DiagonalEstimateOptions options;
+  options.max_iterations = 200;
+  const std::vector<double> diag =
+      EstimateDiagonalFixedPoint(graph, params, options);
+  for (double d : diag) {
+    EXPECT_GE(d, 1.0 - params.decay - 1e-4);
+    EXPECT_LE(d, 1.0 + 1e-9);
+  }
+}
+
+TEST(DiagonalFixedPointTest, MonteCarloVariantApproximatesExact) {
+  const DirectedGraph graph = testing::SmallRandomGraph(40, 205, 20);
+  const SimRankParams params = Params(0.6, 15);
+  DiagonalEstimateOptions exact_options;
+  exact_options.max_iterations = 80;
+  const std::vector<double> exact =
+      EstimateDiagonalFixedPoint(graph, params, exact_options);
+  DiagonalEstimateOptions mc_options = exact_options;
+  mc_options.monte_carlo_walks = 2000;
+  const std::vector<double> sampled =
+      EstimateDiagonalFixedPoint(graph, params, mc_options);
+  double max_err = 0.0;
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    max_err = std::max(max_err, std::abs(sampled[v] - exact[v]));
+  }
+  // MC noise plus the O(1/R) squared-measure bias.
+  EXPECT_LT(max_err, 0.1);
+}
+
+TEST(DiagonalFixedPointTest, DanglingVertexGetsDiagonalOne) {
+  // A vertex with no in-links has s(v,v) = D_vv in the linear formulation,
+  // so the fixed point must drive D_vv to exactly 1.
+  const DirectedGraph graph = testing::GraphFromEdges(3, {{0, 1}, {0, 2}});
+  const SimRankParams params = Params(0.6, 20);
+  DiagonalEstimateOptions options;
+  options.max_iterations = 150;
+  options.tolerance = 1e-10;
+  const std::vector<double> diag =
+      EstimateDiagonalFixedPoint(graph, params, options);
+  EXPECT_NEAR(diag[0], 1.0, 1e-8);  // vertex 0 is dangling
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,205 @@
+// Tests for the exact all-pairs baselines (naive Jeh-Widom and partial
+// sums), validated against closed forms — including the paper's Example 1 —
+// and against each other, plus SimRank axioms as property tests.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "simrank/naive.h"
+#include "simrank/partial_sums.h"
+#include "test_helpers.h"
+
+namespace simrank {
+namespace {
+
+SimRankParams Params(double decay, uint32_t steps) {
+  SimRankParams params;
+  params.decay = decay;
+  params.num_steps = steps;
+  return params;
+}
+
+TEST(NaiveSimRankTest, ExampleOneStarClosedForm) {
+  // Paper, Example 1: claw with center 0, c = 0.8. Leaves have the single
+  // in-neighbor 0, so s(leaf_i, leaf_j) = c * s(0,0) = 4/5, and
+  // s(0, leaf) = 0 (the center's in-neighborhood {1,2,3} never meets {0}).
+  const DirectedGraph star = testing::ExampleOneStar();
+  const DenseMatrix scores = ComputeSimRankNaive(star, Params(0.8, 30));
+  for (Vertex i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(scores.At(i, i), 1.0);
+  for (Vertex i = 1; i <= 3; ++i) {
+    EXPECT_NEAR(scores.At(0, i), 0.0, 1e-12);
+    EXPECT_NEAR(scores.At(i, 0), 0.0, 1e-12);
+    for (Vertex j = 1; j <= 3; ++j) {
+      if (i != j) EXPECT_NEAR(scores.At(i, j), 0.8, 1e-12);
+    }
+  }
+}
+
+TEST(NaiveSimRankTest, ExampleOneDiagonalCorrection) {
+  // Example 1 continues: D = diag(23/75, 1/5, 1/5, 1/5) — in particular
+  // D != (1-c) I = 0.2 I, the pitfall of the "incorrect definition" (11).
+  const DirectedGraph star = testing::ExampleOneStar();
+  const SimRankParams params = Params(0.8, 40);
+  const DenseMatrix scores = ComputeSimRankNaive(star, params);
+  const std::vector<double> diag =
+      ExactDiagonalCorrection(star, scores, params);
+  EXPECT_NEAR(diag[0], 23.0 / 75.0, 1e-9);
+  EXPECT_NEAR(diag[1], 1.0 / 5.0, 1e-9);
+  EXPECT_NEAR(diag[2], 1.0 / 5.0, 1e-9);
+  EXPECT_NEAR(diag[3], 1.0 / 5.0, 1e-9);
+}
+
+TEST(NaiveSimRankTest, DirectedChainHasZeroSimilarity) {
+  // 0 -> 1 -> 2: distinct vertices never share in-neighborhood structure.
+  const DirectedGraph chain =
+      testing::GraphFromEdges(3, {{0, 1}, {1, 2}});
+  const DenseMatrix scores = ComputeSimRankNaive(chain, Params(0.6, 15));
+  EXPECT_NEAR(scores.At(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(scores.At(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(scores.At(1, 2), 0.0, 1e-12);
+}
+
+TEST(NaiveSimRankTest, SharedInNeighborPairClosedForm) {
+  // 2 -> 0, 2 -> 1: s(0,1) = c * s(2,2) = c.
+  const DirectedGraph graph = testing::GraphFromEdges(3, {{2, 0}, {2, 1}});
+  for (double c : {0.4, 0.6, 0.8}) {
+    const DenseMatrix scores = ComputeSimRankNaive(graph, Params(c, 10));
+    EXPECT_NEAR(scores.At(0, 1), c, 1e-12) << c;
+  }
+}
+
+TEST(NaiveSimRankTest, UndirectedPathThreeClosedForm) {
+  // Path 0 - 1 - 2 (undirected): I(0) = I(2) = {1}, so s(0,2) = c — note
+  // this exceeds c^2 = c^{d(0,2)}, the counterexample to the paper's
+  // claimed s <= c^d bound (see DistanceBound). For the endpoints vs the
+  // middle: with x = s(0,1) and y = s(1,2), the recursion gives
+  // x = c/2 (x + y) and y = c/2 (x + y); hence x = y and x = c x, so x = 0.
+  const DirectedGraph path = MakePath(3);
+  for (double c : {0.6, 0.8}) {
+    const DenseMatrix scores = ComputeSimRankNaive(path, Params(c, 40));
+    EXPECT_NEAR(scores.At(0, 2), c, 1e-9);
+    EXPECT_NEAR(scores.At(0, 1), 0.0, 1e-9);
+    EXPECT_NEAR(scores.At(1, 2), 0.0, 1e-9);
+  }
+}
+
+TEST(NaiveSimRankTest, CompleteGraphUniformOffDiagonal) {
+  // K_n is vertex-transitive: all off-diagonal scores equal some x with
+  // x = c * ((n-2) x + 1 + (n-2)(n-3) x + ... ) / (n-1)^2; we only assert
+  // uniformity and range here.
+  const DirectedGraph complete = MakeComplete(6);
+  const DenseMatrix scores = ComputeSimRankNaive(complete, Params(0.6, 25));
+  const double x = scores.At(0, 1);
+  EXPECT_GT(x, 0.0);
+  EXPECT_LT(x, 1.0);
+  for (Vertex i = 0; i < 6; ++i) {
+    for (Vertex j = 0; j < 6; ++j) {
+      if (i != j) EXPECT_NEAR(scores.At(i, j), x, 1e-9);
+    }
+  }
+}
+
+// SimRank axioms on random graphs, parameterized over decay factors.
+class SimRankAxiomsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimRankAxiomsTest, SymmetricUnitDiagonalBounded) {
+  const double c = GetParam();
+  for (uint64_t seed : {71ULL, 72ULL}) {
+    const DirectedGraph graph = testing::SmallRandomGraph(60, seed, 40);
+    const DenseMatrix scores = ComputeSimRankNaive(graph, Params(c, 20));
+    for (Vertex i = 0; i < 60; ++i) {
+      EXPECT_DOUBLE_EQ(scores.At(i, i), 1.0);
+      for (Vertex j = 0; j < 60; ++j) {
+        EXPECT_NEAR(scores.At(i, j), scores.At(j, i), 1e-12);
+        EXPECT_GE(scores.At(i, j), 0.0);
+        EXPECT_LE(scores.At(i, j), 1.0 + 1e-12);
+        if (i != j) EXPECT_LE(scores.At(i, j), c + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(SimRankAxiomsTest, ExactDiagonalWithinPropositionTwoRange) {
+  const double c = GetParam();
+  const DirectedGraph graph = testing::SmallRandomGraph(80, 73, 50);
+  const SimRankParams params = Params(c, 40);
+  const DenseMatrix scores = ComputeSimRankNaive(graph, params);
+  const std::vector<double> diag =
+      ExactDiagonalCorrection(graph, scores, params);
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    EXPECT_GE(diag[v], 1.0 - c - 1e-6) << v;
+    EXPECT_LE(diag[v], 1.0 + 1e-9) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DecayFactors, SimRankAxiomsTest,
+                         ::testing::Values(0.4, 0.6, 0.8));
+
+TEST(SimRankConvergenceTest, IterationContractsGeometrically) {
+  // |S_{k+1} - S_k|_max <= c^k: successive iterates differ by at most the
+  // decay to the iteration count (standard SimRank convergence).
+  const DirectedGraph graph = testing::SmallRandomGraph(50, 74, 30);
+  const double c = 0.6;
+  DenseMatrix previous = ComputeSimRankNaive(graph, Params(c, 5));
+  for (uint32_t steps : {6u, 8u, 10u}) {
+    const DenseMatrix current = ComputeSimRankNaive(graph, Params(c, steps));
+    EXPECT_LE(previous.MaxAbsDiff(current), std::pow(c, 5));
+    previous = current;
+  }
+}
+
+TEST(SimRankConvergenceTest, ConvergedMatrixIsFixedPoint) {
+  const DirectedGraph graph = testing::SmallRandomGraph(40, 75, 20);
+  const SimRankParams params = Params(0.6, 50);
+  const DenseMatrix scores = ComputeSimRankNaive(graph, params);
+  const DenseMatrix once = SimRankIterationStep(graph, scores, params.decay);
+  EXPECT_LT(scores.MaxAbsDiff(once), 1e-10);
+}
+
+TEST(PartialSumsTest, MatchesNaiveExactly) {
+  // Both algorithms compute the same iterate S_T; they must agree to
+  // rounding error on every graph.
+  for (uint64_t seed : {81ULL, 82ULL, 83ULL}) {
+    const DirectedGraph graph = testing::SmallRandomGraph(70, seed, 50);
+    for (double c : {0.6, 0.8}) {
+      const SimRankParams params = Params(c, 12);
+      const DenseMatrix naive = ComputeSimRankNaive(graph, params);
+      const DenseMatrix fast = ComputeSimRankPartialSums(graph, params);
+      EXPECT_LT(naive.MaxAbsDiff(fast), 1e-10) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(PartialSumsTest, ReportsConvergenceGap) {
+  const DirectedGraph graph = testing::SmallRandomGraph(50, 84, 30);
+  double gap = -1.0;
+  ComputeSimRankPartialSums(graph, Params(0.6, 25), &gap);
+  EXPECT_GE(gap, 0.0);
+  EXPECT_LE(gap, std::pow(0.6, 24));
+}
+
+TEST(PartialSumsTest, HandlesDanglingVertices) {
+  // A citation-style DAG: early vertices have in-links only; vertex 0 has
+  // no out-links, late vertices have no in-links.
+  Rng rng(85);
+  const DirectedGraph dag = MakeCopyingModel(60, 3, 0.7, rng);
+  const SimRankParams params = Params(0.6, 15);
+  const DenseMatrix naive = ComputeSimRankNaive(dag, params);
+  const DenseMatrix fast = ComputeSimRankPartialSums(dag, params);
+  EXPECT_LT(naive.MaxAbsDiff(fast), 1e-10);
+}
+
+TEST(PartialSumsTest, EmptyAndSingletonGraphs) {
+  const DenseMatrix empty =
+      ComputeSimRankPartialSums(DirectedGraph(), Params(0.6, 5));
+  EXPECT_EQ(empty.n(), 0u);
+  const DenseMatrix one =
+      ComputeSimRankPartialSums(DirectedGraph(1, {}), Params(0.6, 5));
+  EXPECT_DOUBLE_EQ(one.At(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace simrank

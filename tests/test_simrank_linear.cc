@@ -1,0 +1,167 @@
+// Tests for the linear recursive formulation (§3): the deterministic
+// single-pair / single-source evaluators, their agreement with the exact
+// baselines under the exact diagonal correction, and the truncation bound
+// Eq. (10).
+
+#include "simrank/linear.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "simrank/naive.h"
+#include "simrank/params.h"
+#include "test_helpers.h"
+
+namespace simrank {
+namespace {
+
+SimRankParams Params(double decay, uint32_t steps) {
+  SimRankParams params;
+  params.decay = decay;
+  params.num_steps = steps;
+  return params;
+}
+
+TEST(UniformDiagonalTest, HasExpectedValue) {
+  const std::vector<double> diag = UniformDiagonal(5, 0.6);
+  ASSERT_EQ(diag.size(), 5u);
+  for (double d : diag) EXPECT_DOUBLE_EQ(d, 0.4);
+}
+
+TEST(LinearSimRankTest, StepsForAccuracyInvertsTruncationError) {
+  for (double c : {0.4, 0.6, 0.8}) {
+    for (double eps : {0.1, 0.01, 0.001}) {
+      const uint32_t steps = SimRankParams::StepsForAccuracy(c, eps);
+      SimRankParams params = Params(c, steps);
+      EXPECT_LE(params.TruncationError(), eps);
+      if (steps > 1) {
+        params.num_steps = steps - 1;
+        EXPECT_GT(params.TruncationError(), eps * 0.999);
+      }
+    }
+  }
+}
+
+TEST(LinearSimRankTest, WithExactDiagonalReproducesTrueSimRank) {
+  // Proposition 1 in action: the series (7) with the exact D converges to
+  // the true SimRank matrix. With T = 40 and c = 0.6 the truncation error
+  // c^T/(1-c) is ~3e-9.
+  for (uint64_t seed : {91ULL, 92ULL}) {
+    const DirectedGraph graph = testing::SmallRandomGraph(50, seed, 30);
+    const SimRankParams params = Params(0.6, 40);
+    const DenseMatrix exact = ComputeSimRankNaive(graph, params);
+    const std::vector<double> diag =
+        ExactDiagonalCorrection(graph, exact, params);
+    const LinearSimRank linear(graph, params, diag);
+    for (Vertex u = 0; u < graph.NumVertices(); u += 7) {
+      for (Vertex v = 0; v < graph.NumVertices(); v += 5) {
+        EXPECT_NEAR(linear.SinglePair(u, v), exact.At(u, v), 1e-7)
+            << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(LinearSimRankTest, ExampleOneWithExactDiagonal) {
+  const DirectedGraph star = testing::ExampleOneStar();
+  const SimRankParams params = Params(0.8, 120);  // 0.8^120 ~ 4e-12
+  const std::vector<double> diag = {23.0 / 75.0, 0.2, 0.2, 0.2};
+  const LinearSimRank linear(star, params, diag);
+  EXPECT_NEAR(linear.SinglePair(1, 2), 0.8, 1e-9);
+  EXPECT_NEAR(linear.SinglePair(0, 1), 0.0, 1e-9);
+  EXPECT_NEAR(linear.SinglePair(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(linear.SinglePair(1, 1), 1.0, 1e-9);
+}
+
+TEST(LinearSimRankTest, SingleSourceMatchesSinglePair) {
+  const DirectedGraph graph = testing::SmallRandomGraph(80, 93, 60);
+  const SimRankParams params = Params(0.6, 11);
+  const LinearSimRank linear(
+      graph, params, UniformDiagonal(graph.NumVertices(), params.decay));
+  for (Vertex u : {0u, 7u, 41u}) {
+    const std::vector<double> row = linear.SingleSource(u);
+    ASSERT_EQ(row.size(), graph.NumVertices());
+    for (Vertex v = 0; v < graph.NumVertices(); v += 3) {
+      EXPECT_NEAR(row[v], linear.SinglePair(u, v), 1e-12) << u << "," << v;
+    }
+  }
+}
+
+TEST(LinearSimRankTest, SymmetricInItsArguments) {
+  const DirectedGraph graph = testing::SmallRandomGraph(60, 94, 40);
+  const SimRankParams params = Params(0.8, 9);
+  const LinearSimRank linear(
+      graph, params, UniformDiagonal(graph.NumVertices(), params.decay));
+  for (Vertex u = 0; u < 20; ++u) {
+    for (Vertex v = u + 1; v < 20; ++v) {
+      EXPECT_NEAR(linear.SinglePair(u, v), linear.SinglePair(v, u), 1e-12);
+    }
+  }
+}
+
+TEST(LinearSimRankTest, TruncationIsMonotoneAndBounded) {
+  // s^(T) grows with T (all terms are nonnegative) and the tail is bounded
+  // by Eq. (10): s^(T2) - s^(T1) <= c^T1 / (1-c).
+  const DirectedGraph graph = testing::SmallRandomGraph(60, 95, 40);
+  const double c = 0.6;
+  const std::vector<double> diag = UniformDiagonal(graph.NumVertices(), c);
+  double previous = -1.0;
+  const Vertex u = 3, v = 17;
+  for (uint32_t steps : {2u, 4u, 8u, 16u, 32u}) {
+    const LinearSimRank linear(graph, Params(c, steps), diag);
+    const double score = linear.SinglePair(u, v);
+    EXPECT_GE(score, previous - 1e-12);
+    if (previous >= 0.0) {
+      EXPECT_LE(score - previous, std::pow(c, steps / 2) / (1 - c) + 1e-12);
+    }
+    previous = score;
+  }
+}
+
+TEST(LinearSimRankTest, DanglingVertexHasOnlySelfMass) {
+  // 0 -> 1: vertex 0 has no in-links, so P e_0 = 0 and s^(T)(0, v) reduces
+  // to the t = 0 term: D_00 for v = 0, zero otherwise.
+  const DirectedGraph graph = testing::GraphFromEdges(2, {{0, 1}});
+  const SimRankParams params = Params(0.6, 10);
+  const LinearSimRank linear(graph, params, UniformDiagonal(2, 0.6));
+  EXPECT_NEAR(linear.SinglePair(0, 0), 0.4, 1e-12);
+  EXPECT_NEAR(linear.SinglePair(0, 1), 0.0, 1e-12);
+  const std::vector<double> row = linear.SingleSource(0);
+  EXPECT_NEAR(row[0], 0.4, 1e-12);
+  EXPECT_NEAR(row[1], 0.0, 1e-12);
+}
+
+TEST(LinearSimRankTest, ScalingDiagonalScalesScoresLinearly) {
+  // Remark 1: the score is linear in D, so scaling D scales every score —
+  // rankings are invariant.
+  const DirectedGraph graph = testing::SmallRandomGraph(40, 96, 30);
+  const SimRankParams params = Params(0.6, 11);
+  std::vector<double> diag = UniformDiagonal(graph.NumVertices(), 0.6);
+  const LinearSimRank base(graph, params, diag);
+  for (double& d : diag) d *= 2.5;
+  const LinearSimRank scaled(graph, params, diag);
+  for (Vertex v = 1; v < 20; ++v) {
+    EXPECT_NEAR(scaled.SinglePair(0, v), 2.5 * base.SinglePair(0, v), 1e-12);
+  }
+}
+
+TEST(LinearSimRankTest, SingleSourceOnLargerSkewedGraph) {
+  // Smoke-check the Horner pull-back on a graph with dangling vertices and
+  // heavy hubs (R-MAT), against the straightforward single-pair path.
+  Rng rng(97);
+  const DirectedGraph graph = MakeRmat(9, 3000, rng);
+  const SimRankParams params = Params(0.6, 11);
+  const LinearSimRank linear(
+      graph, params, UniformDiagonal(graph.NumVertices(), params.decay));
+  const Vertex u = 1;
+  const std::vector<double> row = linear.SingleSource(u);
+  for (Vertex v = 0; v < graph.NumVertices(); v += 41) {
+    EXPECT_NEAR(row[v], linear.SinglePair(u, v), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,213 @@
+// Tests for the Monte-Carlo single-pair estimator (Algorithm 1), the walk
+// machinery it is built on, and its concentration around the deterministic
+// linear-formulation score.
+
+#include "simrank/monte_carlo.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "simrank/linear.h"
+#include "test_helpers.h"
+
+namespace simrank {
+namespace {
+
+SimRankParams Params(double decay, uint32_t steps) {
+  SimRankParams params;
+  params.decay = decay;
+  params.num_steps = steps;
+  return params;
+}
+
+// ---------- WalkSet ----------
+
+TEST(WalkSetTest, WalksFollowInLinks) {
+  // Directed cycle 0->1->2->0: the only in-neighbor of v is v-1, so every
+  // walk from 0 deterministically visits 2, 1, 0, 2, ...
+  const DirectedGraph cycle = MakeCycle(3, /*undirected=*/false);
+  Rng rng(1);
+  WalkSet walks(cycle, 0, 8);
+  walks.Advance(rng);
+  for (Vertex p : walks.positions()) EXPECT_EQ(p, 2u);
+  walks.Advance(rng);
+  for (Vertex p : walks.positions()) EXPECT_EQ(p, 1u);
+}
+
+TEST(WalkSetTest, WalksDieAtDanglingVertices) {
+  const DirectedGraph graph = testing::GraphFromEdges(2, {{0, 1}});
+  Rng rng(2);
+  WalkSet walks(graph, 1, 4);
+  EXPECT_FALSE(walks.AllDead());
+  walks.Advance(rng);  // all at 0 (dangling)
+  EXPECT_FALSE(walks.AllDead());
+  walks.Advance(rng);  // all dead now
+  EXPECT_TRUE(walks.AllDead());
+  for (Vertex p : walks.positions()) EXPECT_EQ(p, kNoVertex);
+}
+
+// ---------- WalkProfile ----------
+
+TEST(WalkProfileTest, StepZeroIsAllAtOrigin) {
+  const DirectedGraph graph = testing::SmallRandomGraph(30, 3);
+  Rng rng(4);
+  const WalkProfile profile(graph, Params(0.6, 5), 7, 50, rng);
+  EXPECT_EQ(profile.CountAt(0, 7), 50u);
+  EXPECT_EQ(profile.CountAt(0, 8), 0u);
+  EXPECT_EQ(profile.num_steps(), 5u);
+}
+
+TEST(WalkProfileTest, StepMassNeverExceedsWalkCount) {
+  const DirectedGraph graph = testing::SmallRandomGraph(50, 5, 30);
+  Rng rng(6);
+  const WalkProfile profile(graph, Params(0.6, 11), 0, 40, rng);
+  for (uint32_t t = 0; t < profile.num_steps(); ++t) {
+    uint32_t total = 0;
+    profile.ForEachAt(t, [&](Vertex, uint32_t count) { total += count; });
+    EXPECT_LE(total, 40u);
+  }
+}
+
+TEST(WalkProfileTest, EmpiricalMeasureMatchesTransitionProbabilities) {
+  // Star center: one step from the center lands uniformly on the leaves.
+  const DirectedGraph star = MakeStar(4);
+  Rng rng(7);
+  const WalkProfile profile(star, Params(0.6, 2), 0, 40000, rng);
+  for (Vertex leaf = 1; leaf <= 4; ++leaf) {
+    EXPECT_NEAR(profile.CountAt(1, leaf) / 40000.0, 0.25, 0.01);
+  }
+}
+
+// ---------- Algorithm 1 ----------
+
+TEST(MonteCarloTest, IdenticalVerticesScoreNearDiagonalSeries) {
+  // For u = v the t=0 term alone contributes D_uu; walks coincide in
+  // expectation thereafter. Just sanity-check the range.
+  const DirectedGraph graph = testing::SmallRandomGraph(40, 8, 20);
+  const SimRankParams params = Params(0.6, 11);
+  MonteCarloSimRank mc(graph, params,
+                       UniformDiagonal(graph.NumVertices(), params.decay));
+  Rng rng(9);
+  const double score = mc.SinglePair(5, 5, 200, rng);
+  EXPECT_GT(score, 1.0 - params.decay - 1e-9);
+  EXPECT_LT(score, 1.5);
+}
+
+TEST(MonteCarloTest, DeterministicGivenSeed) {
+  const DirectedGraph graph = testing::SmallRandomGraph(60, 10, 40);
+  const SimRankParams params = Params(0.6, 11);
+  MonteCarloSimRank mc(graph, params,
+                       UniformDiagonal(graph.NumVertices(), params.decay));
+  Rng rng_a(11), rng_b(11);
+  EXPECT_DOUBLE_EQ(mc.SinglePair(1, 2, 100, rng_a),
+                   mc.SinglePair(1, 2, 100, rng_b));
+}
+
+TEST(MonteCarloTest, ConvergesToDeterministicScore) {
+  // Average of many independent estimates approaches the exact truncated
+  // score (the estimator is unbiased), and the spread shrinks with R.
+  const DirectedGraph graph = testing::SmallRandomGraph(80, 12, 60);
+  const SimRankParams params = Params(0.6, 11);
+  const std::vector<double> diag =
+      UniformDiagonal(graph.NumVertices(), params.decay);
+  const LinearSimRank linear(graph, params, diag);
+  MonteCarloSimRank mc(graph, params, diag);
+  Rng rng(13);
+  // Pick pairs with meaningful scores: siblings of a hub.
+  const std::vector<std::pair<Vertex, Vertex>> pairs = {
+      {0, 1}, {1, 2}, {3, 9}};
+  for (const auto& [u, v] : pairs) {
+    const double exact = linear.SinglePair(u, v);
+    double sum = 0.0;
+    constexpr int kTrials = 60;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      sum += mc.SinglePair(u, v, 100, rng);
+    }
+    const double mean = sum / kTrials;
+    // Standard error at R=100 over 60 trials is well under 0.01 for
+    // scores of this magnitude.
+    EXPECT_NEAR(mean, exact, 0.015) << u << "," << v << " exact=" << exact;
+  }
+}
+
+TEST(MonteCarloTest, VarianceShrinksWithSampleCount) {
+  const DirectedGraph graph = testing::SmallRandomGraph(60, 14, 40);
+  const SimRankParams params = Params(0.6, 11);
+  MonteCarloSimRank mc(graph, params,
+                       UniformDiagonal(graph.NumVertices(), params.decay));
+  Rng rng(15);
+  auto spread = [&](uint32_t walks) {
+    std::vector<double> estimates;
+    for (int i = 0; i < 40; ++i) {
+      estimates.push_back(mc.SinglePair(0, 1, walks, rng));
+    }
+    const double mean =
+        std::accumulate(estimates.begin(), estimates.end(), 0.0) /
+        estimates.size();
+    double var = 0.0;
+    for (double e : estimates) var += (e - mean) * (e - mean);
+    return var / estimates.size();
+  };
+  const double var_small = spread(10);
+  const double var_large = spread(320);
+  // 32x the samples should cut variance by roughly 32; demand at least 4x.
+  EXPECT_LT(var_large, var_small / 4 + 1e-12);
+}
+
+TEST(MonteCarloTest, ProfileReuseMatchesFreshRuns) {
+  // Scoring several candidates against one profile is statistically the
+  // same as independent SinglePair calls; verify means agree.
+  const DirectedGraph graph = testing::SmallRandomGraph(60, 16, 40);
+  const SimRankParams params = Params(0.6, 11);
+  MonteCarloSimRank mc(graph, params,
+                       UniformDiagonal(graph.NumVertices(), params.decay));
+  Rng rng(17);
+  const WalkProfile profile = mc.BuildProfile(0, 400, rng);
+  for (Vertex v : {1u, 2u, 5u}) {
+    double sum_profile = 0.0, sum_fresh = 0.0;
+    for (int i = 0; i < 30; ++i) {
+      sum_profile += mc.EstimateAgainstProfile(profile, v, 100, rng);
+      sum_fresh += mc.SinglePair(0, v, 100, rng);
+    }
+    EXPECT_NEAR(sum_profile / 30, sum_fresh / 30, 0.02) << v;
+  }
+}
+
+TEST(MonteCarloTest, DisconnectedPairScoresZero) {
+  // Two separate 2-cycles: walks never share a vertex.
+  const DirectedGraph graph =
+      testing::GraphFromEdges(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}});
+  MonteCarloSimRank mc(graph, Params(0.6, 11), UniformDiagonal(4, 0.6));
+  Rng rng(18);
+  EXPECT_DOUBLE_EQ(mc.SinglePair(0, 2, 100, rng), 0.0);
+}
+
+TEST(MonteCarloTest, AllWalksDeadShortCircuits) {
+  // Chain 0 -> 1 -> 2: from 0, walks die immediately.
+  const DirectedGraph chain = testing::GraphFromEdges(3, {{0, 1}, {1, 2}});
+  MonteCarloSimRank mc(chain, Params(0.6, 11), UniformDiagonal(3, 0.6));
+  Rng rng(19);
+  EXPECT_DOUBLE_EQ(mc.SinglePair(0, 2, 50, rng), 0.0);
+}
+
+TEST(MonteCarloTest, RequiredSamplesMatchesCorollaryOne) {
+  SimRankParams params = Params(0.6, 11);
+  // R = 2 (1-c)^2 log(4 n T / delta) / eps^2.
+  const uint32_t samples =
+      MonteCarloSimRank::RequiredSamples(params, 1000, 0.05, 0.01);
+  const double expected =
+      2.0 * 0.16 * std::log(4.0 * 1000 * 11 / 0.01) / (0.05 * 0.05);
+  EXPECT_NEAR(static_cast<double>(samples), expected, 1.5);
+  // More accuracy -> more samples; larger graphs -> more samples.
+  EXPECT_GT(MonteCarloSimRank::RequiredSamples(params, 1000, 0.01, 0.01),
+            samples);
+  EXPECT_GT(MonteCarloSimRank::RequiredSamples(params, 100000, 0.05, 0.01),
+            samples);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,132 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace simrank {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  uint64_t s1 = 12345, s2 = 12345;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t state = 7;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+}
+
+TEST(MixSeedsTest, DistinguishesBothArguments) {
+  EXPECT_NE(MixSeeds(1, 2), MixSeeds(2, 1));
+  EXPECT_NE(MixSeeds(1, 2), MixSeeds(1, 3));
+  EXPECT_EQ(MixSeeds(42, 7), MixSeeds(42, 7));
+}
+
+TEST(MixSeedsTest, SequentialSecondArgumentsDecorrelate) {
+  // Derived per-vertex streams must not collide for consecutive ids.
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(MixSeeds(99, i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(123), b(124);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(55);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng.Next());
+  rng.Seed(55);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Next(), first[i]);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(1);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntBoundOneIsAlwaysZero) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUniform) {
+  Rng rng(4);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformInt(kBuckets)];
+  // Chi-squared with 15 dof: 99.9th percentile ~ 37.7.
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.005);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(7);
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    int hits = 0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i) {
+      if (rng.Bernoulli(p)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, p, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,42 @@
+# End-to-end smoke test of the simrank_cli surface, driven by ctest.
+# Usage: cmake -DCLI=<binary> -DWORK_DIR=<dir> -P cli_smoke_test.cmake
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+set(graph ${WORK_DIR}/cli_smoke_graph.bin)
+set(index ${WORK_DIR}/cli_smoke.idx)
+
+run_checked(${CLI} generate --family=collab --n=2000 --m=8000 --seed=3
+            --out=${graph})
+run_checked(${CLI} stats ${graph})
+if(NOT LAST_OUTPUT MATCHES "n=2,000")
+  message(FATAL_ERROR "stats did not report vertex count: ${LAST_OUTPUT}")
+endif()
+run_checked(${CLI} preprocess ${graph} --index=${index})
+run_checked(${CLI} query ${graph} --index=${index} --vertex=5 --k=5)
+if(NOT LAST_OUTPUT MATCHES "rank")
+  message(FATAL_ERROR "query did not print a ranking: ${LAST_OUTPUT}")
+endif()
+run_checked(${CLI} query ${graph} --vertex=5 --k=5)
+run_checked(${CLI} pair ${graph} --u=5 --v=6)
+if(NOT LAST_OUTPUT MATCHES "deterministic")
+  message(FATAL_ERROR "pair did not print estimators: ${LAST_OUTPUT}")
+endif()
+run_checked(${CLI} exact ${graph} --vertex=5 --k=5)
+set(shard ${WORK_DIR}/cli_smoke_shard.tsv)
+run_checked(${CLI} allpairs ${graph} --out=${shard} --partition=0
+            --partitions=8 --threads=2 --index=${index})
+if(NOT EXISTS ${shard})
+  message(FATAL_ERROR "allpairs did not write ${shard}")
+endif()
+file(REMOVE ${shard})
+
+file(REMOVE ${graph} ${index})
+message(STATUS "cli smoke test passed")

@@ -1,0 +1,333 @@
+// simrank_cli: command-line front end to the library.
+//
+//   simrank_cli generate --family=web --n=65536 --m=600000 --out=g.bin
+//   simrank_cli stats g.bin
+//   simrank_cli preprocess g.bin --index=g.idx [--estimate-diagonal]
+//   simrank_cli query g.bin --index=g.idx --vertex=12 [--k=20]
+//   simrank_cli pair g.bin --u=12 --v=99 [--walks=100]
+//   simrank_cli exact g.bin --vertex=12 [--k=20]
+//
+// Graphs are loaded from the library binary format when the path ends in
+// .bin, otherwise parsed as a whitespace edge list (SNAP format).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/datasets.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "graph/traversal.h"
+#include "simrank/simrank.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace simrank;
+
+// --------- tiny flag parser ---------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      const char* eq = std::strchr(arg, '=');
+      if (eq == nullptr) {
+        values_[std::string(arg + 2)] = "true";
+      } else {
+        values_[std::string(arg + 2, eq)] = eq + 1;
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoull(
+        it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool GetBool(const std::string& key) const {
+    auto it = values_.find(key);
+    return it != values_.end() && it->second != "false";
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: simrank_cli <command> [args]\n"
+               "commands:\n"
+               "  generate --family=collab|social|web|citation --n=N --m=M\n"
+               "           [--seed=S] --out=PATH[.bin]\n"
+               "  stats      GRAPH\n"
+               "  preprocess GRAPH --index=PATH [--estimate-diagonal]\n"
+               "             [--decay=0.6] [--steps=11]\n"
+               "  query      GRAPH --vertex=V [--index=PATH] [--k=20]\n"
+               "             [--threshold=0.01] [--estimate-diagonal]\n"
+               "  pair       GRAPH --u=U --v=V [--walks=100]\n"
+               "  exact      GRAPH --vertex=V [--k=20]  (deterministic "
+               "oracle)\n"
+               "  allpairs   GRAPH --out=PATH.tsv [--index=PATH]\n"
+               "             [--partition=I --partitions=M] [--threads=T]\n");
+  return 2;
+}
+
+Result<DirectedGraph> LoadGraph(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    return LoadBinary(path);
+  }
+  return LoadEdgeListText(path);
+}
+
+SearchOptions OptionsFromFlags(const Flags& flags) {
+  SearchOptions options;
+  options.simrank.decay = flags.GetDouble("decay", options.simrank.decay);
+  options.simrank.num_steps = static_cast<uint32_t>(
+      flags.GetInt("steps", options.simrank.num_steps));
+  options.k = static_cast<uint32_t>(flags.GetInt("k", options.k));
+  options.threshold = flags.GetDouble("threshold", options.threshold);
+  options.seed = flags.GetInt("seed", options.seed);
+  options.estimate_diagonal = flags.GetBool("estimate-diagonal");
+  return options;
+}
+
+void PrintRanking(const std::vector<ScoredVertex>& ranking) {
+  TablePrinter table({"rank", "vertex", "score"});
+  int rank = 1;
+  for (const ScoredVertex& entry : ranking) {
+    table.AddRow({std::to_string(rank++), std::to_string(entry.vertex),
+                  FormatDouble(entry.score)});
+  }
+  table.Print();
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail("--out is required");
+  const std::string family_name = flags.GetString("family", "web");
+  eval::DatasetSpec spec;
+  spec.name = "cli";
+  if (family_name == "collab") {
+    spec.family = eval::DatasetFamily::kCollaboration;
+  } else if (family_name == "social") {
+    spec.family = eval::DatasetFamily::kSocial;
+  } else if (family_name == "web") {
+    spec.family = eval::DatasetFamily::kWeb;
+  } else if (family_name == "citation") {
+    spec.family = eval::DatasetFamily::kCitation;
+  } else {
+    return Fail("unknown family " + family_name);
+  }
+  spec.target_vertices = static_cast<Vertex>(flags.GetInt("n", 65536));
+  spec.target_edges = flags.GetInt("m", spec.target_vertices * 8ull);
+  spec.seed = flags.GetInt("seed", 1);
+  const DirectedGraph graph = eval::Generate(spec);
+  const Status status =
+      out.size() > 4 && out.substr(out.size() - 4) == ".bin"
+          ? SaveBinary(graph, out)
+          : SaveEdgeListText(graph, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s: %s\n", out.c_str(),
+              ToString(ComputeGraphStats(graph)).c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  if (flags.positional().empty()) return Usage();
+  auto graph = LoadGraph(flags.positional()[0]);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  std::printf("%s\n", ToString(ComputeGraphStats(*graph)).c_str());
+  const ComponentStats cc = WeaklyConnectedComponents(*graph);
+  std::printf("components=%llu largest=%llu\n",
+              static_cast<unsigned long long>(cc.num_components),
+              static_cast<unsigned long long>(cc.largest_size));
+  Rng rng(7);
+  std::printf("avg distance (sampled) = %.3f\n",
+              EstimateAverageDistance(*graph, 16, rng));
+  return 0;
+}
+
+int CmdPreprocess(const Flags& flags) {
+  if (flags.positional().empty()) return Usage();
+  const std::string index_path = flags.GetString("index");
+  if (index_path.empty()) return Fail("--index is required");
+  auto graph = LoadGraph(flags.positional()[0]);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  TopKSearcher searcher(*graph, OptionsFromFlags(flags));
+  WallTimer timer;
+  searcher.BuildIndex();
+  std::printf("preprocess: %s (diagonal %s, index %s)\n",
+              FormatDuration(timer.ElapsedSeconds()).c_str(),
+              FormatDuration(searcher.diagonal_seconds()).c_str(),
+              FormatBytes(searcher.PreprocessBytes()).c_str());
+  const Status status = SaveSearcherIndex(searcher, index_path);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("index written to %s\n", index_path.c_str());
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  if (flags.positional().empty()) return Usage();
+  auto graph = LoadGraph(flags.positional()[0]);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const Vertex vertex = static_cast<Vertex>(flags.GetInt("vertex", 0));
+  if (vertex >= graph->NumVertices()) return Fail("--vertex out of range");
+  const SearchOptions options = OptionsFromFlags(flags);
+  const std::string index_path = flags.GetString("index");
+  std::optional<TopKSearcher> searcher;
+  if (!index_path.empty()) {
+    auto loaded = LoadSearcherIndex(*graph, options, index_path);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    searcher.emplace(std::move(*loaded));
+  } else {
+    searcher.emplace(*graph, options);
+    searcher->BuildIndex();
+  }
+  const QueryResult result = searcher->Query(vertex);
+  PrintRanking(result.top);
+  std::printf(
+      "%.2f ms, %llu candidates, %llu refined\n", result.stats.seconds * 1e3,
+      static_cast<unsigned long long>(result.stats.candidates_enumerated),
+      static_cast<unsigned long long>(result.stats.refined));
+  return 0;
+}
+
+int CmdPair(const Flags& flags) {
+  if (flags.positional().empty()) return Usage();
+  auto graph = LoadGraph(flags.positional()[0]);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const Vertex u = static_cast<Vertex>(flags.GetInt("u", 0));
+  const Vertex v = static_cast<Vertex>(flags.GetInt("v", 0));
+  if (u >= graph->NumVertices() || v >= graph->NumVertices()) {
+    return Fail("--u/--v out of range");
+  }
+  SimRankParams params;
+  params.decay = flags.GetDouble("decay", params.decay);
+  params.num_steps =
+      static_cast<uint32_t>(flags.GetInt("steps", params.num_steps));
+  const uint32_t walks = static_cast<uint32_t>(flags.GetInt("walks", 100));
+  const std::vector<double> diagonal =
+      UniformDiagonal(graph->NumVertices(), params.decay);
+  Rng rng(flags.GetInt("seed", 42));
+  const MonteCarloSimRank mc(*graph, params, diagonal);
+  const LinearSimRank linear(*graph, params, diagonal);
+  std::printf("monte-carlo (R=%u): %s\n", walks,
+              FormatDouble(mc.SinglePair(u, v, walks, rng)).c_str());
+  std::printf("deterministic     : %s\n",
+              FormatDouble(linear.SinglePair(u, v)).c_str());
+  std::printf("surfer-pair model : %s\n",
+              FormatDouble(SurferPairSimRank(*graph, u, v, params,
+                                             walks * 10, rng))
+                  .c_str());
+  return 0;
+}
+
+int CmdExact(const Flags& flags) {
+  if (flags.positional().empty()) return Usage();
+  auto graph = LoadGraph(flags.positional()[0]);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const Vertex vertex = static_cast<Vertex>(flags.GetInt("vertex", 0));
+  if (vertex >= graph->NumVertices()) return Fail("--vertex out of range");
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 20));
+  SimRankParams params;
+  params.decay = flags.GetDouble("decay", params.decay);
+  params.num_steps =
+      static_cast<uint32_t>(flags.GetInt("steps", params.num_steps));
+  const LinearSimRank linear(
+      *graph, params, UniformDiagonal(graph->NumVertices(), params.decay));
+  const std::vector<double> row = linear.SingleSource(vertex);
+  TopKCollector collector(k);
+  for (size_t w = 0; w < row.size(); ++w) {
+    if (w != vertex && row[w] > 0.0) {
+      collector.Push(static_cast<Vertex>(w), row[w]);
+    }
+  }
+  PrintRanking(collector.TakeSorted());
+  return 0;
+}
+
+int CmdAllPairs(const Flags& flags) {
+  if (flags.positional().empty()) return Usage();
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail("--out is required");
+  auto graph = LoadGraph(flags.positional()[0]);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const SearchOptions options = OptionsFromFlags(flags);
+  const std::string index_path = flags.GetString("index");
+  std::optional<TopKSearcher> searcher;
+  if (!index_path.empty()) {
+    auto loaded = LoadSearcherIndex(*graph, options, index_path);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    searcher.emplace(std::move(*loaded));
+  } else {
+    searcher.emplace(*graph, options);
+    searcher->BuildIndex();
+  }
+  AllPairsOptions all;
+  all.partition = static_cast<uint32_t>(flags.GetInt("partition", 0));
+  all.num_partitions =
+      static_cast<uint32_t>(flags.GetInt("partitions", 1));
+  if (all.partition >= all.num_partitions) {
+    return Fail("--partition must be < --partitions");
+  }
+  const uint64_t threads = flags.GetInt("threads", 1);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) {
+    pool.emplace(static_cast<size_t>(threads));
+    all.pool = &*pool;
+  }
+  all.progress = [](uint64_t done) {
+    std::fprintf(stderr, "\r%llu queries done",
+                 static_cast<unsigned long long>(done));
+  };
+  const AllPairsShard shard = RunAllPairs(*searcher, all);
+  std::fprintf(stderr, "\n");
+  const Status status = WriteShardTsv(shard, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("partition %u/%u: %zu queries in %s -> %s\n", all.partition,
+              all.num_partitions, shard.rankings.size(),
+              FormatDuration(shard.seconds).c_str(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "preprocess") return CmdPreprocess(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "pair") return CmdPair(flags);
+  if (command == "exact") return CmdExact(flags);
+  if (command == "allpairs") return CmdAllPairs(flags);
+  return Usage();
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagonal.dir/bench_diagonal.cc.o"
+  "CMakeFiles/bench_diagonal.dir/bench_diagonal.cc.o.d"
+  "bench_diagonal"
+  "bench_diagonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_distance.cc" "bench/CMakeFiles/bench_fig2_distance.dir/bench_fig2_distance.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_distance.dir/bench_fig2_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simrank/CMakeFiles/simrank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/simrank_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/simrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_params.dir/bench_index_params.cc.o"
+  "CMakeFiles/bench_index_params.dir/bench_index_params.cc.o.d"
+  "bench_index_params"
+  "bench_index_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_web_vs_social.dir/bench_web_vs_social.cc.o"
+  "CMakeFiles/bench_web_vs_social.dir/bench_web_vs_social.cc.o.d"
+  "bench_web_vs_social"
+  "bench_web_vs_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_web_vs_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_link_prediction.dir/citation_link_prediction.cpp.o"
+  "CMakeFiles/citation_link_prediction.dir/citation_link_prediction.cpp.o.d"
+  "citation_link_prediction"
+  "citation_link_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_link_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coauthor_recommendation.dir/coauthor_recommendation.cpp.o"
+  "CMakeFiles/coauthor_recommendation.dir/coauthor_recommendation.cpp.o.d"
+  "coauthor_recommendation"
+  "coauthor_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coauthor_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_related_pages.dir/web_related_pages.cpp.o"
+  "CMakeFiles/web_related_pages.dir/web_related_pages.cpp.o.d"
+  "web_related_pages"
+  "web_related_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_related_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

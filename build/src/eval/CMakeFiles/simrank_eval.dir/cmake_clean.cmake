@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrank_eval.dir/datasets.cc.o"
+  "CMakeFiles/simrank_eval.dir/datasets.cc.o.d"
+  "CMakeFiles/simrank_eval.dir/metrics.cc.o"
+  "CMakeFiles/simrank_eval.dir/metrics.cc.o.d"
+  "libsimrank_eval.a"
+  "libsimrank_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrank_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

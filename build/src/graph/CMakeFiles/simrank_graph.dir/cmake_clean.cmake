@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrank_graph.dir/builder.cc.o"
+  "CMakeFiles/simrank_graph.dir/builder.cc.o.d"
+  "CMakeFiles/simrank_graph.dir/generators.cc.o"
+  "CMakeFiles/simrank_graph.dir/generators.cc.o.d"
+  "CMakeFiles/simrank_graph.dir/graph.cc.o"
+  "CMakeFiles/simrank_graph.dir/graph.cc.o.d"
+  "CMakeFiles/simrank_graph.dir/io.cc.o"
+  "CMakeFiles/simrank_graph.dir/io.cc.o.d"
+  "CMakeFiles/simrank_graph.dir/stats.cc.o"
+  "CMakeFiles/simrank_graph.dir/stats.cc.o.d"
+  "CMakeFiles/simrank_graph.dir/transform.cc.o"
+  "CMakeFiles/simrank_graph.dir/transform.cc.o.d"
+  "CMakeFiles/simrank_graph.dir/traversal.cc.o"
+  "CMakeFiles/simrank_graph.dir/traversal.cc.o.d"
+  "libsimrank_graph.a"
+  "libsimrank_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrank_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

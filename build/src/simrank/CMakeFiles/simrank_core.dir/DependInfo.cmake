@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simrank/all_pairs.cc" "src/simrank/CMakeFiles/simrank_core.dir/all_pairs.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/all_pairs.cc.o.d"
+  "/root/repo/src/simrank/bounds.cc" "src/simrank/CMakeFiles/simrank_core.dir/bounds.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/bounds.cc.o.d"
+  "/root/repo/src/simrank/classic_similarity.cc" "src/simrank/CMakeFiles/simrank_core.dir/classic_similarity.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/classic_similarity.cc.o.d"
+  "/root/repo/src/simrank/diagonal.cc" "src/simrank/CMakeFiles/simrank_core.dir/diagonal.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/diagonal.cc.o.d"
+  "/root/repo/src/simrank/fogaras_racz.cc" "src/simrank/CMakeFiles/simrank_core.dir/fogaras_racz.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/fogaras_racz.cc.o.d"
+  "/root/repo/src/simrank/index.cc" "src/simrank/CMakeFiles/simrank_core.dir/index.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/index.cc.o.d"
+  "/root/repo/src/simrank/linear.cc" "src/simrank/CMakeFiles/simrank_core.dir/linear.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/linear.cc.o.d"
+  "/root/repo/src/simrank/monte_carlo.cc" "src/simrank/CMakeFiles/simrank_core.dir/monte_carlo.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/simrank/naive.cc" "src/simrank/CMakeFiles/simrank_core.dir/naive.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/naive.cc.o.d"
+  "/root/repo/src/simrank/p_rank.cc" "src/simrank/CMakeFiles/simrank_core.dir/p_rank.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/p_rank.cc.o.d"
+  "/root/repo/src/simrank/partial_sums.cc" "src/simrank/CMakeFiles/simrank_core.dir/partial_sums.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/partial_sums.cc.o.d"
+  "/root/repo/src/simrank/serialization.cc" "src/simrank/CMakeFiles/simrank_core.dir/serialization.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/serialization.cc.o.d"
+  "/root/repo/src/simrank/surfer_pair.cc" "src/simrank/CMakeFiles/simrank_core.dir/surfer_pair.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/surfer_pair.cc.o.d"
+  "/root/repo/src/simrank/top_k_searcher.cc" "src/simrank/CMakeFiles/simrank_core.dir/top_k_searcher.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/top_k_searcher.cc.o.d"
+  "/root/repo/src/simrank/yu_all_pairs.cc" "src/simrank/CMakeFiles/simrank_core.dir/yu_all_pairs.cc.o" "gcc" "src/simrank/CMakeFiles/simrank_core.dir/yu_all_pairs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/simrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrank_core.dir/all_pairs.cc.o"
+  "CMakeFiles/simrank_core.dir/all_pairs.cc.o.d"
+  "CMakeFiles/simrank_core.dir/bounds.cc.o"
+  "CMakeFiles/simrank_core.dir/bounds.cc.o.d"
+  "CMakeFiles/simrank_core.dir/classic_similarity.cc.o"
+  "CMakeFiles/simrank_core.dir/classic_similarity.cc.o.d"
+  "CMakeFiles/simrank_core.dir/diagonal.cc.o"
+  "CMakeFiles/simrank_core.dir/diagonal.cc.o.d"
+  "CMakeFiles/simrank_core.dir/fogaras_racz.cc.o"
+  "CMakeFiles/simrank_core.dir/fogaras_racz.cc.o.d"
+  "CMakeFiles/simrank_core.dir/index.cc.o"
+  "CMakeFiles/simrank_core.dir/index.cc.o.d"
+  "CMakeFiles/simrank_core.dir/linear.cc.o"
+  "CMakeFiles/simrank_core.dir/linear.cc.o.d"
+  "CMakeFiles/simrank_core.dir/monte_carlo.cc.o"
+  "CMakeFiles/simrank_core.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/simrank_core.dir/naive.cc.o"
+  "CMakeFiles/simrank_core.dir/naive.cc.o.d"
+  "CMakeFiles/simrank_core.dir/p_rank.cc.o"
+  "CMakeFiles/simrank_core.dir/p_rank.cc.o.d"
+  "CMakeFiles/simrank_core.dir/partial_sums.cc.o"
+  "CMakeFiles/simrank_core.dir/partial_sums.cc.o.d"
+  "CMakeFiles/simrank_core.dir/serialization.cc.o"
+  "CMakeFiles/simrank_core.dir/serialization.cc.o.d"
+  "CMakeFiles/simrank_core.dir/surfer_pair.cc.o"
+  "CMakeFiles/simrank_core.dir/surfer_pair.cc.o.d"
+  "CMakeFiles/simrank_core.dir/top_k_searcher.cc.o"
+  "CMakeFiles/simrank_core.dir/top_k_searcher.cc.o.d"
+  "CMakeFiles/simrank_core.dir/yu_all_pairs.cc.o"
+  "CMakeFiles/simrank_core.dir/yu_all_pairs.cc.o.d"
+  "libsimrank_core.a"
+  "libsimrank_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrank_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrank_util.dir/serialize.cc.o"
+  "CMakeFiles/simrank_util.dir/serialize.cc.o.d"
+  "CMakeFiles/simrank_util.dir/status.cc.o"
+  "CMakeFiles/simrank_util.dir/status.cc.o.d"
+  "CMakeFiles/simrank_util.dir/table.cc.o"
+  "CMakeFiles/simrank_util.dir/table.cc.o.d"
+  "CMakeFiles/simrank_util.dir/thread_pool.cc.o"
+  "CMakeFiles/simrank_util.dir/thread_pool.cc.o.d"
+  "libsimrank_util.a"
+  "libsimrank_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrank_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimrank_util.a"
+)

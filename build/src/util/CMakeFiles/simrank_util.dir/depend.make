@@ -1,0 +1,2 @@
+# Empty dependencies file for simrank_util.
+# This may be replaced when dependencies are built.

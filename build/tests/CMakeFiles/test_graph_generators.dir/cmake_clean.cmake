@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_generators.dir/test_graph_generators.cc.o"
+  "CMakeFiles/test_graph_generators.dir/test_graph_generators.cc.o.d"
+  "test_graph_generators"
+  "test_graph_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

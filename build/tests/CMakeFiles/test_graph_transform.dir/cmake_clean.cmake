@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_transform.dir/test_graph_transform.cc.o"
+  "CMakeFiles/test_graph_transform.dir/test_graph_transform.cc.o.d"
+  "test_graph_transform"
+  "test_graph_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

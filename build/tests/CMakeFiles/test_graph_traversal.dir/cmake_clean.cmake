@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_traversal.dir/test_graph_traversal.cc.o"
+  "CMakeFiles/test_graph_traversal.dir/test_graph_traversal.cc.o.d"
+  "test_graph_traversal"
+  "test_graph_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

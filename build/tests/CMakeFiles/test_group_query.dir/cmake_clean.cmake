@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_query.dir/test_group_query.cc.o"
+  "CMakeFiles/test_group_query.dir/test_group_query.cc.o.d"
+  "test_group_query"
+  "test_group_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

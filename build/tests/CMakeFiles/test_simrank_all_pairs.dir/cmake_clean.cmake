@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_all_pairs.dir/test_simrank_all_pairs.cc.o"
+  "CMakeFiles/test_simrank_all_pairs.dir/test_simrank_all_pairs.cc.o.d"
+  "test_simrank_all_pairs"
+  "test_simrank_all_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_all_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

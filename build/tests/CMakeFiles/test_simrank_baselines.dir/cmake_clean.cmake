@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_baselines.dir/test_simrank_baselines.cc.o"
+  "CMakeFiles/test_simrank_baselines.dir/test_simrank_baselines.cc.o.d"
+  "test_simrank_baselines"
+  "test_simrank_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

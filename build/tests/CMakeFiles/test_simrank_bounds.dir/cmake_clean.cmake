@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_bounds.dir/test_simrank_bounds.cc.o"
+  "CMakeFiles/test_simrank_bounds.dir/test_simrank_bounds.cc.o.d"
+  "test_simrank_bounds"
+  "test_simrank_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

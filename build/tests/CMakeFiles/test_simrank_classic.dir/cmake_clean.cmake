@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_classic.dir/test_simrank_classic.cc.o"
+  "CMakeFiles/test_simrank_classic.dir/test_simrank_classic.cc.o.d"
+  "test_simrank_classic"
+  "test_simrank_classic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

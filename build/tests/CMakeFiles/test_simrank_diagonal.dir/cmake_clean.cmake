@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_diagonal.dir/test_simrank_diagonal.cc.o"
+  "CMakeFiles/test_simrank_diagonal.dir/test_simrank_diagonal.cc.o.d"
+  "test_simrank_diagonal"
+  "test_simrank_diagonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_diagonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

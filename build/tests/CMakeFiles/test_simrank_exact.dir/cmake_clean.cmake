@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_exact.dir/test_simrank_exact.cc.o"
+  "CMakeFiles/test_simrank_exact.dir/test_simrank_exact.cc.o.d"
+  "test_simrank_exact"
+  "test_simrank_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_index.dir/test_simrank_index.cc.o"
+  "CMakeFiles/test_simrank_index.dir/test_simrank_index.cc.o.d"
+  "test_simrank_index"
+  "test_simrank_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_linear.dir/test_simrank_linear.cc.o"
+  "CMakeFiles/test_simrank_linear.dir/test_simrank_linear.cc.o.d"
+  "test_simrank_linear"
+  "test_simrank_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

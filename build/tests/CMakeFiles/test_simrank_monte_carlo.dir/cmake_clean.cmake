@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_monte_carlo.dir/test_simrank_monte_carlo.cc.o"
+  "CMakeFiles/test_simrank_monte_carlo.dir/test_simrank_monte_carlo.cc.o.d"
+  "test_simrank_monte_carlo"
+  "test_simrank_monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_p_rank.dir/test_simrank_p_rank.cc.o"
+  "CMakeFiles/test_simrank_p_rank.dir/test_simrank_p_rank.cc.o.d"
+  "test_simrank_p_rank"
+  "test_simrank_p_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_p_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

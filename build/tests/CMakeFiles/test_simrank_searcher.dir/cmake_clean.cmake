@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_searcher.dir/test_simrank_searcher.cc.o"
+  "CMakeFiles/test_simrank_searcher.dir/test_simrank_searcher.cc.o.d"
+  "test_simrank_searcher"
+  "test_simrank_searcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_searcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

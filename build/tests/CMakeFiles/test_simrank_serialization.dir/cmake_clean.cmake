@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank_serialization.dir/test_simrank_serialization.cc.o"
+  "CMakeFiles/test_simrank_serialization.dir/test_simrank_serialization.cc.o.d"
+  "test_simrank_serialization"
+  "test_simrank_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

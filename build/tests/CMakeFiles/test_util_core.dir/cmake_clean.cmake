@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_core.dir/test_util_core.cc.o"
+  "CMakeFiles/test_util_core.dir/test_util_core.cc.o.d"
+  "test_util_core"
+  "test_util_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

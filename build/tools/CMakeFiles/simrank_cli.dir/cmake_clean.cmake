@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrank_cli.dir/simrank_cli.cc.o"
+  "CMakeFiles/simrank_cli.dir/simrank_cli.cc.o.d"
+  "simrank_cli"
+  "simrank_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrank_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

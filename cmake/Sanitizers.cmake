@@ -1,0 +1,47 @@
+# Dynamic-analysis toggles.
+#
+# SIMRANK_SANITIZE is a semicolon-separated list of sanitizers to enable,
+# e.g. -DSIMRANK_SANITIZE="address;undefined" or -DSIMRANK_SANITIZE=thread.
+# Flags are applied globally (compile AND link) rather than per-target:
+# every target — core libraries, tests, benches, examples — must run
+# instrumented, because mixing instrumented and uninstrumented translation
+# units hides races and container-overflow bugs.
+#
+# The canonical configurations are exposed as presets (see
+# CMakePresets.json): `asan-ubsan` and `tsan`. Runtime options
+# (suppression files, halt-on-error) live in the matching test presets so
+# plain `ctest --preset <name>` reproduces CI exactly.
+
+set(SIMRANK_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizer list: address;undefined;thread;leak")
+
+if(SIMRANK_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR
+      "SIMRANK_SANITIZE requires GCC or Clang (got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+  foreach(sanitizer IN LISTS SIMRANK_SANITIZE)
+    if(NOT sanitizer MATCHES "^(address|undefined|thread|leak)$")
+      message(FATAL_ERROR
+        "Unknown sanitizer '${sanitizer}'; "
+        "expected address, undefined, thread, or leak")
+    endif()
+  endforeach()
+  if("thread" IN_LIST SIMRANK_SANITIZE AND
+     ("address" IN_LIST SIMRANK_SANITIZE OR "leak" IN_LIST SIMRANK_SANITIZE))
+    message(FATAL_ERROR
+      "ThreadSanitizer cannot be combined with AddressSanitizer or "
+      "LeakSanitizer; configure separate build trees")
+  endif()
+
+  list(JOIN SIMRANK_SANITIZE "," _simrank_sanitize_csv)
+  add_compile_options(-fsanitize=${_simrank_sanitize_csv}
+                      -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=${_simrank_sanitize_csv})
+  if("undefined" IN_LIST SIMRANK_SANITIZE)
+    # Abort on the first UB report instead of limping on; a recovered UB
+    # report in a randomized algorithm taints everything downstream.
+    add_compile_options(-fno-sanitize-recover=all)
+  endif()
+  message(STATUS "Sanitizers enabled: ${_simrank_sanitize_csv}")
+endif()

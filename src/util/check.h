@@ -14,6 +14,12 @@ namespace simrank::internal {
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  // Flush before dying: stderr is unbuffered by default but may have been
+  // redirected into a fully-buffered pipe (ctest, CI), where an unflushed
+  // message would be lost. std::abort (not _exit / terminate) so the
+  // sanitizers' SIGABRT handler runs and prints a symbolized stack — the
+  // test presets set handle_abort=1 for exactly this.
+  std::fflush(stderr);
   std::abort();
 }
 

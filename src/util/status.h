@@ -1,9 +1,9 @@
 #ifndef SIMRANK_UTIL_STATUS_H_
 #define SIMRANK_UTIL_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <utility>
-#include <variant>
 
 #include "util/check.h"
 
@@ -66,34 +66,36 @@ class Status {
 
 /// Result<T> holds either a value or an error Status. Accessing the value of
 /// an error result is a checked programming error.
+///
+/// Storage is optional<T> + Status rather than variant<T, Status>: the
+/// variant's visiting destructor trips a GCC 12 -Wmaybe-uninitialized false
+/// positive (the speculated destroy of the Status alternative's string while
+/// the variant holds T), and the pair keeps status() a plain member read.
 template <typename T>
 class Result {
  public:
   /// Implicit so functions can `return value;`.
-  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
   /// Implicit so functions can `return Status::IoError(...);`.
-  Result(Status status) : payload_(std::move(status)) {  // NOLINT
-    SIMRANK_CHECK(!std::get<Status>(payload_).ok());
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SIMRANK_CHECK(!status_.ok());
   }
 
-  bool ok() const { return std::holds_alternative<T>(payload_); }
+  bool ok() const { return value_.has_value(); }
 
-  const Status& status() const {
-    static const Status kOk;
-    return ok() ? kOk : std::get<Status>(payload_);
-  }
+  const Status& status() const { return status_; }
 
   const T& value() const& {
     SIMRANK_CHECK(ok());
-    return std::get<T>(payload_);
+    return *value_;
   }
   T& value() & {
     SIMRANK_CHECK(ok());
-    return std::get<T>(payload_);
+    return *value_;
   }
   T&& value() && {
     SIMRANK_CHECK(ok());
-    return std::get<T>(std::move(payload_));
+    return *std::move(value_);
   }
 
   const T& operator*() const& { return value(); }
@@ -102,7 +104,8 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
-  std::variant<T, Status> payload_;
+  std::optional<T> value_;
+  Status status_;  // OK exactly when value_ is engaged
 };
 
 }  // namespace simrank

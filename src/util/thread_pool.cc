@@ -26,6 +26,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    SIMRANK_CHECK(!shutting_down_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -33,8 +34,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -48,9 +54,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // Destroy the task's captures before announcing completion: a waiter
+    // may tear down state the closure still references (e.g. ParallelFor's
+    // stack frame) the moment in_flight_ hits zero.
+    task = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
@@ -67,13 +83,44 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   const size_t total = end - begin;
   const size_t num_chunks = std::min(total, pool->num_threads() * 4);
   const size_t chunk = (total + num_chunks - 1) / num_chunks;
+
+  // Per-call completion state: chunks of this call signal `done` when
+  // `remaining` hits zero, so concurrent ParallelFor calls sharing one pool
+  // wait only on their own work (pool->Wait() would wait on everyone's).
+  struct CallState {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining;
+    std::exception_ptr error;
+  };
+  CallState state;
+  state.remaining = (total + chunk - 1) / chunk;
+
   for (size_t lo = begin; lo < end; lo += chunk) {
     const size_t hi = std::min(lo + chunk, end);
-    pool->Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
+    pool->Submit([lo, hi, &fn, &state] {
+      std::exception_ptr error;
+      try {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      // notify_all under the lock: once `remaining` hits zero the caller
+      // may destroy `state`, so the signal and the final touch of the
+      // struct must be one critical section.
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (error && !state.error) state.error = error;
+      if (--state.remaining == 0) state.done.notify_all();
     });
   }
-  pool->Wait();
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done.wait(lock, [&state] { return state.remaining == 0; });
+    std::swap(error, state.error);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace simrank

@@ -1,9 +1,9 @@
 #ifndef SIMRANK_UTIL_THREAD_POOL_H_
 #define SIMRANK_UTIL_THREAD_POOL_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,10 +16,23 @@ namespace simrank {
 /// parallel over query vertices (the paper's "distributed computing
 /// friendly" remark, §2.2); this pool is how the single-machine build
 /// exploits that.
+///
+/// Thread-safety: Submit() and Wait() may be called concurrently from any
+/// number of threads. All shared state is guarded by a single mutex; the
+/// class is verified race-free under ThreadSanitizer by the stress suite in
+/// tests/test_thread_pool.cc.
+///
+/// Exceptions: a task that throws does not take down the worker thread.
+/// The first uncaught task exception is captured and rethrown from the next
+/// Wait() call (to exactly one waiter); later exceptions from the same
+/// batch are dropped.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (>= 1).
   explicit ThreadPool(size_t num_threads);
+
+  /// Drains already-queued tasks, then joins the workers. Any captured
+  /// task exception that was never consumed by Wait() is dropped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -27,10 +40,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. Must not be called after
+  /// the destructor has begun.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception, if any. Safe to call concurrently;
+  /// when several threads wait, each sees all tasks finish but only one
+  /// receives a given exception.
   void Wait();
 
  private:
@@ -41,13 +58,24 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  size_t in_flight_ = 0;           // queued + running tasks (guarded by mutex_)
+  bool shutting_down_ = false;     // guarded by mutex_
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 /// Runs fn(i) for i in [begin, end), statically chunked over `pool` (or
 /// inline when pool is null). fn must be safe to call concurrently for
 /// distinct i.
+///
+/// Completion is tracked per call, so concurrent ParallelFor invocations
+/// may safely share one pool: each returns as soon as *its own* chunks are
+/// done, regardless of other work in flight. If fn throws, the throwing
+/// chunk stops at that index, the other chunks still run to completion,
+/// and the first exception is rethrown on the calling thread once all
+/// chunks of this call have finished.
+///
+/// Must not be called from inside a pool task: the chunks would need the
+/// very workers that are blocked waiting on them.
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn);
 

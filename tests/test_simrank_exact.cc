@@ -33,7 +33,9 @@ TEST(NaiveSimRankTest, ExampleOneStarClosedForm) {
     EXPECT_NEAR(scores.At(0, i), 0.0, 1e-12);
     EXPECT_NEAR(scores.At(i, 0), 0.0, 1e-12);
     for (Vertex j = 1; j <= 3; ++j) {
-      if (i != j) EXPECT_NEAR(scores.At(i, j), 0.8, 1e-12);
+      if (i != j) {
+        EXPECT_NEAR(scores.At(i, j), 0.8, 1e-12);
+      }
     }
   }
 }
@@ -97,7 +99,9 @@ TEST(NaiveSimRankTest, CompleteGraphUniformOffDiagonal) {
   EXPECT_LT(x, 1.0);
   for (Vertex i = 0; i < 6; ++i) {
     for (Vertex j = 0; j < 6; ++j) {
-      if (i != j) EXPECT_NEAR(scores.At(i, j), x, 1e-9);
+      if (i != j) {
+        EXPECT_NEAR(scores.At(i, j), x, 1e-9);
+      }
     }
   }
 }
@@ -116,7 +120,9 @@ TEST_P(SimRankAxiomsTest, SymmetricUnitDiagonalBounded) {
         EXPECT_NEAR(scores.At(i, j), scores.At(j, i), 1e-12);
         EXPECT_GE(scores.At(i, j), 0.0);
         EXPECT_LE(scores.At(i, j), 1.0 + 1e-12);
-        if (i != j) EXPECT_LE(scores.At(i, j), c + 1e-12);
+        if (i != j) {
+          EXPECT_LE(scores.At(i, j), c + 1e-12);
+        }
       }
     }
   }

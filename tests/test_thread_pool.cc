@@ -1,0 +1,244 @@
+// Stress suite for ThreadPool / ParallelFor. Each scenario here is chosen
+// to light up under ThreadSanitizer if the pool's synchronization regresses:
+// run it through the `tsan` preset, not just the default build
+// (docs/DEVELOPMENT.md).
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace simrank {
+namespace {
+
+// ---------- Submit / Wait interleavings ----------
+
+TEST(ThreadPoolStressTest, SubmitFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 250;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStressTest, WaitWhileAnotherThreadSubmits) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::atomic<bool> producer_done{false};
+  std::thread producer([&] {
+    for (int i = 0; i < 500; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    producer_done.store(true);
+  });
+  // Interleave Wait() with the producer's Submits. Each Wait() observes a
+  // momentarily drained pool, not necessarily the final count.
+  while (!producer_done.load()) pool.Wait();
+  producer.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentWaiters) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  std::vector<std::thread> waiters;
+  waiters.reserve(6);
+  for (int w = 0; w < 6; ++w) {
+    waiters.emplace_back([&pool] { pool.Wait(); });
+  }
+  for (std::thread& waiter : waiters) waiter.join();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolStressTest, ReuseAfterWait) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolStressTest, SubmitFromWithinTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    // in_flight_ counts the child before the parent finishes, so a single
+    // Wait() below must cover both generations.
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolStressTest, Oversubscription) {
+  // Far more workers than cores: exercises contended queue handoff and the
+  // shutdown broadcast across parked threads.
+  ThreadPool pool(4 * std::max(1u, std::thread::hardware_concurrency()));
+  std::atomic<size_t> sum{0};
+  for (size_t i = 1; i <= 1000; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 1000u * 1001u / 2);
+}
+
+TEST(ThreadPoolStressTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run every queued task.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+// ---------- Exceptions ----------
+
+TEST(ThreadPoolExceptionTest, TaskExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolExceptionTest, PoolUsableAfterTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();  // the consumed exception must not resurface
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolExceptionTest, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // later exceptions from the same batch were dropped
+}
+
+TEST(ThreadPoolExceptionTest, SurvivingTasksStillRun) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    if (i == 17) {
+      pool.Submit([] { throw std::runtime_error("odd one out"); });
+    } else {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 99);
+}
+
+// ---------- ParallelFor ----------
+
+TEST(ParallelForStressTest, ConcurrentCallsOnSharedPool) {
+  // Two ParallelFor calls race on one pool; per-call completion tracking
+  // means each must return exactly when its own range is done.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(2000), b(2000);
+  std::thread other([&pool, &b] {
+    ParallelFor(&pool, 0, b.size(), [&b](size_t i) { b[i].fetch_add(1); });
+  });
+  ParallelFor(&pool, 0, a.size(), [&a](size_t i) { a[i].fetch_add(1); });
+  for (const auto& h : a) EXPECT_EQ(h.load(), 1);
+  other.join();
+  for (const auto& h : b) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForStressTest, ManySmallRangesBackToBack) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<size_t> sum{0};
+    ParallelFor(&pool, 0, 7, [&sum](size_t i) { sum.fetch_add(i); });
+    ASSERT_EQ(sum.load(), 21u);
+  }
+}
+
+TEST(ParallelForStressTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  EXPECT_THROW(ParallelFor(&pool, 0, hits.size(),
+                           [&hits](size_t i) {
+                             hits[i].fetch_add(1);
+                             if (i == 250) throw std::runtime_error("mid");
+                           }),
+               std::runtime_error);
+  // The throwing chunk stops at the exception, but every other chunk runs
+  // to completion before the rethrow, and nothing runs twice.
+  int total = 0;
+  for (const auto& h : hits) {
+    EXPECT_LE(h.load(), 1);
+    total += h.load();
+  }
+  EXPECT_EQ(hits[250].load(), 1);
+  EXPECT_GE(total, 251);
+}
+
+TEST(ParallelForStressTest, InlineExceptionWithNullPool) {
+  EXPECT_THROW(ParallelFor(nullptr, 0, 10,
+                           [](size_t i) {
+                             if (i == 3) throw std::runtime_error("inline");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForStressTest, PoolUnpoisonedAfterParallelForException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      ParallelFor(&pool, 0, 100,
+                  [](size_t) { throw std::runtime_error("all fail"); }),
+      std::runtime_error);
+  // The exception was consumed by ParallelFor, not parked in the pool.
+  pool.Wait();
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 0, 64, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelForStressTest, LargeRangeCoversExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(100000);
+  ParallelFor(&pool, 0, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+}  // namespace
+}  // namespace simrank

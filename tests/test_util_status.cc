@@ -1,0 +1,155 @@
+// Edge-case coverage for Status and Result<T>: move semantics, error
+// propagation chains, move-only payloads. The basic happy-path tests live
+// in test_util_core.cc.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace simrank {
+namespace {
+
+// ---------- Status move semantics ----------
+
+TEST(StatusMoveTest, MoveConstructPreservesCodeAndMessage) {
+  Status source = Status::Corruption("torn page");
+  Status moved = std::move(source);
+  EXPECT_EQ(moved.code(), StatusCode::kCorruption);
+  EXPECT_EQ(moved.message(), "torn page");
+}
+
+TEST(StatusMoveTest, MoveAssignOverwritesTarget) {
+  Status target = Status::NotFound("old");
+  Status source = Status::IoError("new");
+  target = std::move(source);
+  EXPECT_EQ(target.code(), StatusCode::kIoError);
+  EXPECT_EQ(target.message(), "new");
+}
+
+TEST(StatusMoveTest, CopyLeavesSourceIntact) {
+  const Status source = Status::OutOfRange("index 7");
+  Status copy = source;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(source.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(source.message(), "index 7");
+}
+
+TEST(StatusMoveTest, LongMessageSurvivesMoveChain) {
+  // Long enough to defeat SSO, so a buffer actually changes hands.
+  const std::string long_message(512, 'x');
+  Status a = Status::InvalidArgument(long_message);
+  Status b = std::move(a);
+  Status c = std::move(b);
+  EXPECT_EQ(c.message(), long_message);
+}
+
+// ---------- Result<T> value-category behavior ----------
+
+TEST(ResultMoveTest, MoveConstructTransfersValue) {
+  Result<std::string> source = std::string(256, 'y');
+  Result<std::string> moved = std::move(source);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), std::string(256, 'y'));
+}
+
+TEST(ResultMoveTest, MoveAssignReplacesErrorWithValue) {
+  Result<std::string> result = Status::NotFound("missing");
+  result = Result<std::string>(std::string("found"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), "found");
+}
+
+TEST(ResultMoveTest, MoveAssignReplacesValueWithError) {
+  Result<std::string> result = std::string("present");
+  result = Result<std::string>(Status::IoError("gone"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultMoveTest, RvalueValueMovesOutThePayload) {
+  Result<std::string> result = std::string(300, 'z');
+  const std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, std::string(300, 'z'));
+}
+
+TEST(ResultMoveTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(41);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 41);
+  std::unique_ptr<int> taken = std::move(result).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 41);
+}
+
+TEST(ResultAccessTest, OperatorArrowReachesMembers) {
+  Result<std::string> result = std::string("arrow");
+  EXPECT_EQ(result->size(), 5u);
+  const Result<std::string>& view = result;
+  EXPECT_EQ(view->front(), 'a');
+}
+
+TEST(ResultAccessTest, StatusOfOkResultIsOk) {
+  const Result<int> result = 7;
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOk);
+}
+
+TEST(ResultAccessTest, ErrorResultExposesStatusDetails) {
+  const Result<int> result = Status::Unimplemented("later");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(result.status().message(), "later");
+  EXPECT_EQ(result.status().ToString(), "Unimplemented: later");
+}
+
+// ---------- Error propagation chains ----------
+
+Result<int> ParsePositive(int raw) {
+  if (raw <= 0) return Status::InvalidArgument("not positive");
+  return raw;
+}
+
+Result<int> Halve(int raw) {
+  Result<int> parsed = ParsePositive(raw);
+  if (!parsed.ok()) return parsed.status();
+  if (*parsed % 2 != 0) return Status::OutOfRange("odd");
+  return *parsed / 2;
+}
+
+Status Validate(int raw) {
+  const Result<int> halved = Halve(raw);
+  SIMRANK_RETURN_IF_ERROR(halved.status());
+  return Status::OK();
+}
+
+TEST(ResultPropagationTest, ValueFlowsThroughChain) {
+  const Result<int> halved = Halve(42);
+  ASSERT_TRUE(halved.ok());
+  EXPECT_EQ(*halved, 21);
+  EXPECT_TRUE(Validate(42).ok());
+}
+
+TEST(ResultPropagationTest, InnerErrorSurvivesTwoHops) {
+  const Result<int> halved = Halve(-3);
+  EXPECT_FALSE(halved.ok());
+  EXPECT_EQ(halved.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(halved.status().message(), "not positive");
+}
+
+TEST(ResultPropagationTest, MidChainErrorPropagates) {
+  EXPECT_EQ(Halve(7).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Validate(7).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultPropagationTest, ReturnIfErrorShortCircuits) {
+  const Status bad = Validate(-1);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.message(), "not positive");
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,18 +1,35 @@
 // Micro-benchmarks (google-benchmark) of the library's hot paths: walk
 // advancement, the flat walk-position counter, single-pair Monte-Carlo
-// estimation, profile-based candidate scoring, the pruning bounds, and
-// truncated BFS.
+// estimation, profile-based candidate scoring, the pruning bounds,
+// truncated BFS, and the full top-k query (instrumented and with the obs
+// subsystem disabled, to measure instrumentation overhead — the pair is
+// recorded in EXPERIMENTS.md).
+//
+// Beyond the google-benchmark flags, this binary accepts the common bench
+// flags (see bench_common.h): --scale shrinks/grows the synthetic RMAT
+// corpus and --json=<path> writes a "simrank-bench-v1" document with the
+// per-case times and the full metrics snapshot (per-query latency
+// percentiles, pruning counters, walk counts).
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "graph/generators.h"
 #include "graph/traversal.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "simrank/bounds.h"
 #include "simrank/linear.h"
 #include "simrank/monte_carlo.h"
+#include "simrank/top_k_searcher.h"
 #include "util/counter.h"
 #include "util/rng.h"
 #include "util/top_k.h"
@@ -20,10 +37,20 @@
 namespace simrank {
 namespace {
 
+// Set from --scale in main() before any benchmark runs.
+double g_bench_scale = 1.0;
+
 const DirectedGraph& BenchGraph() {
   static const DirectedGraph* graph = [] {
+    // scale=1 reproduces the historical corpus (2^15 vertices, 300k
+    // edges); other scales shrink/grow both proportionally.
+    const double target_n = std::max(256.0, 32768.0 * g_bench_scale);
+    const uint32_t bits = std::clamp<uint32_t>(
+        static_cast<uint32_t>(std::lround(std::log2(target_n))), 8u, 22u);
+    const uint64_t edges = std::max<uint64_t>(
+        1024, static_cast<uint64_t>(std::llround(300000.0 * g_bench_scale)));
     Rng rng(42);
-    return new DirectedGraph(MakeRmat(15, 300000, rng));
+    return new DirectedGraph(MakeRmat(bits, edges, rng));
   }();
   return *graph;
 }
@@ -144,7 +171,106 @@ void BM_TopKCollector(benchmark::State& state) {
 }
 BENCHMARK(BM_TopKCollector);
 
+// --- full query path (the overhead-measurement pair) -----------------------
+
+const TopKSearcher& BenchSearcher() {
+  static const TopKSearcher* searcher = [] {
+    auto* s = new TopKSearcher(BenchGraph(), SearchOptions{});
+    s->BuildIndex();
+    return s;
+  }();
+  return *searcher;
+}
+
+const std::vector<Vertex>& BenchQueryVertices() {
+  static const std::vector<Vertex>* vertices = [] {
+    return new std::vector<Vertex>(
+        bench::SampleQueryVertices(BenchGraph(), 64, 7));
+  }();
+  return *vertices;
+}
+
+void RunTopKQuery(benchmark::State& state) {
+  const TopKSearcher& searcher = BenchSearcher();
+  const std::vector<Vertex>& queries = BenchQueryVertices();
+  QueryWorkspace workspace(searcher);
+  size_t i = 0;
+  for (auto _ : state) {
+    const QueryResult result =
+        searcher.Query(queries[i % queries.size()], workspace);
+    benchmark::DoNotOptimize(result.top.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Instrumented: obs enabled (the default) — counters and the
+// query.latency_ns histogram are live.
+void BM_TopKQuery(benchmark::State& state) { RunTopKQuery(state); }
+BENCHMARK(BM_TopKQuery);
+
+// Baseline: obs disabled for the duration — measures the library without
+// instrumentation. EXPERIMENTS.md tracks BM_TopKQuery vs this (must stay
+// within 5%).
+void BM_TopKQueryNoObs(benchmark::State& state) {
+  obs::SetEnabled(false);
+  RunTopKQuery(state);
+  obs::SetEnabled(true);
+}
+BENCHMARK(BM_TopKQueryNoObs);
+
+// --- main: google-benchmark + common bench flags + optional JSON -----------
+
+/// ConsoleReporter that additionally captures per-case real time so main()
+/// can emit the simrank-bench-v1 document.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Case {
+    std::string name;
+    double seconds_per_iteration = 0.0;
+    double iterations = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Case c;
+      c.name = run.benchmark_name();
+      c.iterations = static_cast<double>(run.iterations);
+      if (run.iterations > 0) {
+        c.seconds_per_iteration =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+      }
+      cases_.push_back(std::move(c));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Case>& cases() const { return cases_; }
+
+ private:
+  std::vector<Case> cases_;
+};
+
 }  // namespace
 }  // namespace simrank
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace simrank;
+  // google-benchmark consumes its own --benchmark_* flags first; whatever
+  // remains must be one of ours (strict: unknown flags are an error).
+  benchmark::Initialize(&argc, argv);
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  g_bench_scale = args.scale;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  bench::BenchJsonReporter json("bench_micro", args);
+  for (const CaptureReporter::Case& c : reporter.cases()) {
+    json.AddCase(c.name, c.seconds_per_iteration,
+                 {{"iterations", c.iterations}});
+  }
+  return json.Finish() ? 0 : 1;
+}

@@ -36,8 +36,7 @@ int main(int argc, char** argv) {
   // the locality statistics.
   Rng pick(99);
   QueryWorkspace workspace(searcher);
-  uint64_t candidates = 0, pruned = 0, refined = 0;
-  double total_ms = 0.0;
+  QueryStats totals;
   constexpr int kQueries = 20;
   QueryResult last;
   Vertex last_page = 0;
@@ -45,21 +44,21 @@ int main(int argc, char** argv) {
     const Vertex page = pick.UniformIndex(graph.NumVertices());
     last = searcher.Query(page, workspace);
     last_page = page;
-    candidates += last.stats.candidates_enumerated;
-    pruned += last.stats.pruned_by_distance + last.stats.pruned_by_l1 +
-              last.stats.pruned_by_l2;
-    refined += last.stats.refined;
-    total_ms += last.stats.seconds * 1e3;
+    totals += last.stats;
   }
+  const uint64_t pruned = totals.pruned_by_distance + totals.pruned_by_l1 +
+                          totals.pruned_by_l2;
   std::printf("\nover %d random queries:\n", kQueries);
-  std::printf("  avg query time      : %.2f ms\n", total_ms / kQueries);
+  std::printf("  avg query time      : %.2f ms\n",
+              totals.seconds * 1e3 / kQueries);
   std::printf("  avg candidates      : %.0f  (%.2f%% of all pages)\n",
-              static_cast<double>(candidates) / kQueries,
-              100.0 * candidates / kQueries / graph.NumVertices());
+              static_cast<double>(totals.candidates_enumerated) / kQueries,
+              100.0 * totals.candidates_enumerated / kQueries /
+                  graph.NumVertices());
   std::printf("  avg pruned by bounds: %.0f\n",
               static_cast<double>(pruned) / kQueries);
   std::printf("  avg scored by MC    : %.0f\n",
-              static_cast<double>(refined) / kQueries);
+              static_cast<double>(totals.refined) / kQueries);
 
   std::printf("\nsample result — pages related to page %u:\n", last_page);
   TablePrinter table({"rank", "page", "simrank"});

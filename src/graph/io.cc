@@ -8,12 +8,24 @@
 #include <vector>
 
 #include "graph/builder.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace simrank {
 
 namespace {
 
 constexpr uint64_t kBinaryMagic = 0x53524b47'42494e31ULL;  // "SRKGBIN1"
+
+// IO metrics: how much graph data moved through this process, and in how
+// many loads — enough to see when a bench spends its time parsing instead
+// of searching.
+void RecordLoad(uint64_t bytes, const DirectedGraph& graph) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry.GetCounter("io.graphs_loaded").Add(1);
+  registry.GetCounter("io.bytes_read").Add(bytes);
+  registry.GetCounter("io.edges_loaded").Add(graph.NumEdges());
+}
 
 // Parses one edge line into (from, to). Returns false for blank lines.
 Status ParseLine(const char* line, size_t line_number, bool& has_edge,
@@ -80,11 +92,15 @@ Result<DirectedGraph> ParseLines(const std::string& text,
 
 Result<DirectedGraph> ParseEdgeListText(const std::string& text,
                                         const EdgeListOptions& options) {
-  return ParseLines(text, options);
+  obs::ScopedSpan span("parse_edge_list");
+  Result<DirectedGraph> result = ParseLines(text, options);
+  if (result.ok()) RecordLoad(text.size(), *result);
+  return result;
 }
 
 Result<DirectedGraph> LoadEdgeListText(const std::string& path,
                                        const EdgeListOptions& options) {
+  obs::ScopedSpan span("load_edge_list");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IoError("cannot open " + path + ": " +
@@ -99,7 +115,9 @@ Result<DirectedGraph> LoadEdgeListText(const std::string& path,
   const bool read_error = std::ferror(file) != 0;
   std::fclose(file);
   if (read_error) return Status::IoError("read error on " + path);
-  return ParseLines(text, options);
+  Result<DirectedGraph> result = ParseLines(text, options);
+  if (result.ok()) RecordLoad(text.size(), *result);
+  return result;
 }
 
 Status SaveEdgeListText(const DirectedGraph& graph, const std::string& path) {
@@ -143,6 +161,7 @@ Status SaveBinary(const DirectedGraph& graph, const std::string& path) {
 }
 
 Result<DirectedGraph> LoadBinary(const std::string& path) {
+  obs::ScopedSpan span("load_binary_graph");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IoError("cannot open " + path + ": " +
@@ -171,7 +190,9 @@ Result<DirectedGraph> LoadBinary(const std::string& path) {
       return Status::Corruption(path + ": edge endpoint out of range");
     }
   }
-  return DirectedGraph(static_cast<Vertex>(n), edges);
+  DirectedGraph graph(static_cast<Vertex>(n), edges);
+  RecordLoad(3 * sizeof(uint64_t) + m * sizeof(Edge), graph);
+  return graph;
 }
 
 }  // namespace simrank

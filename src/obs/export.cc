@@ -1,0 +1,321 @@
+#include "obs/export.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "obs/build_info.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace simrank::obs {
+
+// --- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) Append(",");
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  Append("{");
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  SIMRANK_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  Append("}");
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  Append("[");
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  SIMRANK_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  Append("]");
+  return *this;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  SIMRANK_CHECK(!needs_comma_.empty());
+  SIMRANK_CHECK(!after_key_);
+  if (needs_comma_.back()) Append(",");
+  needs_comma_.back() = true;
+  AppendEscaped(out_, key);
+  Append(":");
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    Append("null");
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  Append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  Append("null");
+  return *this;
+}
+
+std::string JsonWriter::TakeString() {
+  SIMRANK_CHECK(needs_comma_.empty());
+  SIMRANK_CHECK(!after_key_);
+  return std::move(out_);
+}
+
+const char* BuildGitRevision() { return SIMRANK_GIT_REVISION; }
+
+// --- human-readable output -------------------------------------------------
+
+void PrintMetrics(const MetricsSnapshot& snapshot, std::FILE* out) {
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    TablePrinter table({"metric", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.AddRow({name, FormatCount(value)});
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.AddRow({name, value < 0 ? std::to_string(value)
+                                    : FormatCount(
+                                          static_cast<uint64_t>(value))});
+    }
+    std::fputs(table.ToString().c_str(), out);
+  }
+  if (!snapshot.histograms.empty()) {
+    TablePrinter table(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : snapshot.histograms) {
+      table.AddRow({name, FormatCount(h.count), FormatDouble(h.mean),
+                    FormatDouble(h.p50), FormatDouble(h.p95),
+                    FormatDouble(h.p99),
+                    FormatCount(h.max)});
+    }
+    std::fputs(table.ToString().c_str(), out);
+  }
+}
+
+namespace {
+
+void PrintSpanNode(const SpanNode& node, int depth, double parent_seconds,
+                   std::FILE* out) {
+  const double share =
+      parent_seconds > 0.0 ? 100.0 * node.seconds / parent_seconds : 100.0;
+  std::fprintf(out, "%*s%-*s %8s  x%-6llu %5.1f%%\n", depth * 2, "",
+               32 - depth * 2, node.name.c_str(),
+               FormatDuration(node.seconds).c_str(),
+               static_cast<unsigned long long>(node.count), share);
+  for (const auto& child : node.children) {
+    PrintSpanNode(*child, depth + 1, node.seconds, out);
+  }
+}
+
+}  // namespace
+
+void PrintSpanTree(const SpanNode& root, std::FILE* out) {
+  // The synthetic root carries no timing of its own; print its children as
+  // top-level spans.
+  for (const auto& child : root.children) {
+    PrintSpanNode(*child, 0, child->seconds, out);
+  }
+}
+
+// --- JSON ------------------------------------------------------------------
+
+namespace {
+
+void WriteSpanNode(JsonWriter& json, const SpanNode& node) {
+  json.BeginObject();
+  json.Key("name").String(node.name);
+  json.Key("count").Uint(node.count);
+  json.Key("seconds").Double(node.seconds);
+  json.Key("children").BeginArray();
+  for (const auto& child : node.children) WriteSpanNode(json, *child);
+  json.EndArray();
+  json.EndObject();
+}
+
+void WriteSnapshotFields(JsonWriter& json, const MetricsSnapshot& snapshot,
+                         const SpanNode* trace) {
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.Key(name).Uint(value);
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.Key(name).Int(value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, h] : snapshot.histograms) {
+    json.Key(name).BeginObject();
+    json.Key("count").Uint(h.count);
+    json.Key("sum").Uint(h.sum);
+    json.Key("max").Uint(h.max);
+    json.Key("mean").Double(h.mean);
+    json.Key("p50").Double(h.p50);
+    json.Key("p95").Double(h.p95);
+    json.Key("p99").Double(h.p99);
+    json.EndObject();
+  }
+  json.EndObject();
+  if (trace != nullptr) {
+    json.Key("trace");
+    WriteSpanNode(json, *trace);
+  }
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot,
+                          const SpanNode* trace) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema").String("simrank-obs-v1");
+  json.Key("git_rev").String(BuildGitRevision());
+  WriteSnapshotFields(json, snapshot, trace);
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string BenchReportToJson(const BenchReport& report,
+                              const MetricsSnapshot& snapshot,
+                              const SpanNode* trace) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema").String("simrank-bench-v1");
+  json.Key("bench").String(report.bench);
+  json.Key("git_rev").String(BuildGitRevision());
+  json.Key("args").BeginObject();
+  for (const auto& [key, value] : report.args) {
+    json.Key(key).String(value);
+  }
+  json.EndObject();
+  json.Key("cases").BeginArray();
+  for (const BenchCase& bench_case : report.cases) {
+    json.BeginObject();
+    json.Key("name").String(bench_case.name);
+    json.Key("wall_seconds").Double(bench_case.wall_seconds);
+    json.Key("values").BeginObject();
+    for (const auto& [key, value] : bench_case.values) {
+      json.Key(key).Double(value);
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("metrics").BeginObject();
+  WriteSnapshotFields(json, snapshot, trace);
+  json.EndObject();
+  json.EndObject();
+  return json.TakeString();
+}
+
+Status WriteJsonFile(const std::string& path, std::string_view json) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  ok = std::fputc('\n', file) != EOF && ok;
+  if (std::fclose(file) != 0) ok = false;
+  if (!ok) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+Status WriteJson(const std::string& path, const MetricsSnapshot& snapshot,
+                 const SpanNode* trace) {
+  return WriteJsonFile(path, MetricsToJson(snapshot, trace));
+}
+
+Status WriteJson(const std::string& path, const BenchReport& report,
+                 const MetricsSnapshot& snapshot, const SpanNode* trace) {
+  return WriteJsonFile(path, BenchReportToJson(report, snapshot, trace));
+}
+
+}  // namespace simrank::obs

@@ -1,0 +1,111 @@
+#ifndef SIMRANK_OBS_EXPORT_H_
+#define SIMRANK_OBS_EXPORT_H_
+
+// Exporters for the obs subsystem: human-readable tables (util::Table
+// layout) and stable-schema JSON. The JSON schema is versioned
+// ("simrank-obs-v1" / "simrank-bench-v1") and documented in
+// docs/OBSERVABILITY.md; CI checks it (see .github/workflows/ci.yml), so
+// schema changes must bump the version string.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/status.h"
+
+namespace simrank::obs {
+
+/// Minimal streaming JSON writer: explicit Begin/End nesting, automatic
+/// commas, full string escaping, locale-independent number formatting.
+/// Non-finite doubles serialize as null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Emits an object key; the next value call is its value.
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The finished document. All opened scopes must be closed.
+  std::string TakeString();
+
+ private:
+  void BeforeValue();
+  void Append(std::string_view text) { out_.append(text); }
+
+  std::string out_;
+  /// One entry per open scope: true => a value was already emitted there
+  /// (a comma is due before the next one).
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+/// Git revision the binary was configured from ("unknown" outside a git
+/// checkout). Captured at CMake configure time.
+const char* BuildGitRevision();
+
+// --- human-readable output -------------------------------------------------
+
+/// Prints counters/gauges and histogram percentiles as aligned tables.
+void PrintMetrics(const MetricsSnapshot& snapshot, std::FILE* out = stdout);
+
+/// Prints an indented span tree: name, enter count, inclusive time, and
+/// the share of the parent's time.
+void PrintSpanTree(const SpanNode& root, std::FILE* out = stdout);
+
+// --- JSON ------------------------------------------------------------------
+
+/// Serializes a snapshot (+ optional span tree) as a "simrank-obs-v1"
+/// document.
+std::string MetricsToJson(const MetricsSnapshot& snapshot,
+                          const SpanNode* trace = nullptr);
+
+/// One timed case of a bench run (a reproduced table row, one
+/// google-benchmark case, ...). `values` carries additional per-case
+/// numbers keyed by metric-style names.
+struct BenchCase {
+  std::string name;
+  double wall_seconds = 0.0;
+  std::map<std::string, double> values;
+};
+
+/// A machine-comparable bench result document ("simrank-bench-v1"):
+/// bench name, stringified args, per-case wall times, and a full metrics
+/// snapshot — everything BENCH_*.json trajectory comparisons need.
+struct BenchReport {
+  std::string bench;
+  std::map<std::string, std::string> args;
+  std::vector<BenchCase> cases;
+};
+
+std::string BenchReportToJson(const BenchReport& report,
+                              const MetricsSnapshot& snapshot,
+                              const SpanNode* trace = nullptr);
+
+/// Writes a serialized JSON document to `path`.
+Status WriteJsonFile(const std::string& path, std::string_view json);
+
+/// Convenience: snapshot document straight to a file.
+Status WriteJson(const std::string& path, const MetricsSnapshot& snapshot,
+                 const SpanNode* trace = nullptr);
+
+/// Convenience: bench document straight to a file.
+Status WriteJson(const std::string& path, const BenchReport& report,
+                 const MetricsSnapshot& snapshot,
+                 const SpanNode* trace = nullptr);
+
+}  // namespace simrank::obs
+
+#endif  // SIMRANK_OBS_EXPORT_H_

@@ -1,0 +1,108 @@
+#include "obs/span.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace simrank::obs {
+
+namespace {
+
+thread_local Tracer* t_active_tracer = nullptr;
+
+// CHECK-failure context hook (see util/check.h): formats the calling
+// thread's open span path into `buffer`. Registered on first TraceScope
+// activation, so a binary that never traces never pays for it and util
+// keeps no link-time dependency on obs.
+void ProvideSpanPathContext(char* buffer, size_t buffer_size) {
+  if (buffer_size == 0) return;
+  buffer[0] = '\0';
+  const Tracer* tracer = t_active_tracer;
+  if (tracer == nullptr || tracer->OpenDepth() == 0) return;
+  const std::string path = tracer->CurrentPath();
+  std::snprintf(buffer, buffer_size, "%s", path.c_str());
+}
+
+void RegisterCheckContextOnce() {
+  static const bool registered = [] {
+    simrank::internal::SetCheckContextProvider(&ProvideSpanPathContext);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+const SpanNode* SpanNode::FindChild(std::string_view child_name) const {
+  for (const auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  return nullptr;
+}
+
+double SpanNode::ChildSeconds() const {
+  double total = 0.0;
+  for (const auto& child : children) total += child->seconds;
+  return total;
+}
+
+Tracer::Tracer() {
+  root_.name = "trace";
+  stack_.push_back(&root_);
+}
+
+void Tracer::Clear() {
+  SIMRANK_CHECK_EQ(OpenDepth(), 0u);
+  root_.children.clear();
+  root_.count = 0;
+  root_.seconds = 0.0;
+}
+
+std::string Tracer::CurrentPath() const {
+  std::string path;
+  for (size_t i = 1; i < stack_.size(); ++i) {
+    if (!path.empty()) path += '/';
+    path += stack_[i]->name;
+  }
+  return path;
+}
+
+Tracer* ActiveTracer() { return t_active_tracer; }
+
+TraceScope::TraceScope(Tracer& tracer) : previous_(t_active_tracer) {
+  RegisterCheckContextOnce();
+  t_active_tracer = &tracer;
+}
+
+TraceScope::~TraceScope() { t_active_tracer = previous_; }
+
+ScopedSpan::ScopedSpan(const char* name) : tracer_(t_active_tracer) {
+  if (tracer_ == nullptr) return;
+  SpanNode* parent = tracer_->stack_.back();
+  // Merge-by-name: a repeated span under the same parent accumulates into
+  // the existing node. Linear scan — span fan-out is small by design.
+  for (const auto& child : parent->children) {
+    if (child->name == name) {
+      node_ = child.get();
+      break;
+    }
+  }
+  if (node_ == nullptr) {
+    parent->children.push_back(std::make_unique<SpanNode>());
+    node_ = parent->children.back().get();
+    node_->name = name;
+  }
+  ++node_->count;
+  tracer_->stack_.push_back(node_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  node_->seconds += std::chrono::duration<double>(elapsed).count();
+  SIMRANK_CHECK_EQ(tracer_->stack_.back(), node_);
+  tracer_->stack_.pop_back();
+}
+
+}  // namespace simrank::obs

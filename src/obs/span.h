@@ -1,0 +1,106 @@
+#ifndef SIMRANK_OBS_SPAN_H_
+#define SIMRANK_OBS_SPAN_H_
+
+// Hierarchical timing spans. A Tracer owns a tree of SpanNodes; ScopedSpan
+// opens a named child of the innermost open span for its lexical scope and
+// accumulates the elapsed wall time on close. Re-entering the same name
+// under the same parent merges into one node (count + total seconds), so
+// per-candidate spans inside a query loop stay O(distinct names), not
+// O(candidates).
+//
+// Activation model: instrumented library code calls ScopedSpan("name")
+// unconditionally; it is a near-free no-op (one thread-local load) unless
+// the calling thread has installed a Tracer with TraceScope. A Tracer is
+// single-threaded state — give each thread its own.
+//
+// While a thread has an active tracer, SIMRANK_CHECK failures on that
+// thread append the open span path ("query/enumerate/refine") to the
+// failure message (the hook is registered here; util keeps no obs
+// dependency).
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simrank::obs {
+
+/// One node of the span tree. `seconds` is inclusive wall time summed over
+/// the `count` times the span was entered.
+struct SpanNode {
+  std::string name;
+  uint64_t count = 0;
+  double seconds = 0.0;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  /// First child with the given name, or null.
+  const SpanNode* FindChild(std::string_view child_name) const;
+
+  /// Sum of the direct children's `seconds` (always <= this node's
+  /// `seconds` for closed spans: children occupy disjoint sub-intervals of
+  /// the parent's interval on a monotonic clock).
+  double ChildSeconds() const;
+};
+
+/// Owns one span tree and the stack of currently-open spans. Not
+/// thread-safe: a Tracer belongs to one thread at a time (that is what
+/// keeps ScopedSpan lock-free). The root node is a synthetic container
+/// whose children are the top-level spans.
+class Tracer {
+ public:
+  Tracer();
+
+  const SpanNode& root() const { return root_; }
+
+  /// Discards all recorded spans. Must not be called while spans are open.
+  void Clear();
+
+  /// "a/b/c" path of the currently-open span chain ("" when none open).
+  std::string CurrentPath() const;
+
+  /// Depth of currently-open spans (0 = none).
+  size_t OpenDepth() const { return stack_.size() - 1; }
+
+ private:
+  friend class ScopedSpan;
+  SpanNode root_;
+  std::vector<SpanNode*> stack_;  // stack_[0] == &root_
+};
+
+/// The calling thread's active tracer (null when none installed).
+Tracer* ActiveTracer();
+
+/// RAII: installs `tracer` as the calling thread's active tracer, restores
+/// the previous one on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(Tracer& tracer);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+/// Opens span `name` under the innermost open span of the calling thread's
+/// active tracer for the current scope. No-op when no tracer is active.
+/// `name` must outlive the tracer (string literals).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;  // null => inert
+  SpanNode* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace simrank::obs
+
+#endif  // SIMRANK_OBS_SPAN_H_

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 
 #include "util/timer.h"
 
@@ -27,19 +28,27 @@ AllPairsShard RunAllPairs(const TopKSearcher& searcher,
           : 0;
   shard.rankings.resize(shard_size);
   std::atomic<uint64_t> completed{0};
+  std::mutex stats_mutex;
   // One workspace per chunk (workspaces reference the graph and must not
-  // outlive this call, so no thread-local caching).
+  // outlive this call, so no thread-local caching). Per-query stats sum
+  // into a chunk-local accumulator first; the shared shard total takes the
+  // mutex once per chunk.
   auto run_range = [&](size_t lo, size_t hi) {
     QueryWorkspace workspace(searcher);
+    QueryStats chunk_stats;
     for (size_t i = lo; i < hi; ++i) {
       const Vertex v = shard.VertexAt(i);
-      shard.rankings[i] = searcher.Query(v, workspace).top;
+      QueryResult result = searcher.Query(v, workspace);
+      chunk_stats += result.stats;
+      shard.rankings[i] = std::move(result.top);
       const uint64_t done = completed.fetch_add(1) + 1;
       if (options.progress != nullptr &&
           done % options.progress_interval == 0) {
         options.progress(done);
       }
     }
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    shard.stats += chunk_stats;
   };
   if (options.pool == nullptr || options.pool->num_threads() == 1 ||
       shard_size == 0) {

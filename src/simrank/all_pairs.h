@@ -39,7 +39,12 @@ struct AllPairsShard {
   std::vector<std::vector<ScoredVertex>> rankings;
   uint32_t partition = 0;
   uint32_t num_partitions = 1;
+  /// Wall time of the shard run.
   double seconds = 0.0;
+  /// Sum of the per-query stats over the shard (QueryStats::operator+=;
+  /// stats.seconds is cumulative query time across worker threads, not
+  /// wall time).
+  QueryStats stats;
 
   /// Vertex id of rankings[i].
   Vertex VertexAt(size_t i) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/counter.h"
 #include "util/rng.h"
 
@@ -72,6 +73,12 @@ CandidateIndex::CandidateIndex(const DirectedGraph& graph,
     std::sort(hubs.begin(), hubs.end());
     hubs.erase(std::unique(hubs.begin(), hubs.end()), hubs.end());
   });
+  // Every vertex starts P * (1 + Q) walks (pivot + witnesses), whether or
+  // not they survive to full length.
+  obs::MetricsRegistry::Default()
+      .GetCounter("index.walks_started")
+      .Add(static_cast<uint64_t>(n) * index_params.repetitions *
+           (1 + index_params.witness_walks));
   // Flatten into the forward CSR.
   hub_offsets_.assign(static_cast<size_t>(n) + 1, 0);
   for (Vertex u = 0; u < n; ++u) {

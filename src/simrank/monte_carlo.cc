@@ -2,13 +2,41 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace simrank {
+
+namespace {
+
+// Walk-simulation counters. Bumped once per WalkSet / profile / estimate
+// (not per step), so the instrumentation cost is a few relaxed atomic adds
+// against hundreds of RandomInNeighbor calls.
+obs::Counter& WalksStartedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Default().GetCounter("mc.walks_started");
+  return counter;
+}
+
+obs::Counter& ProfilesBuiltCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Default().GetCounter("mc.profiles_built");
+  return counter;
+}
+
+obs::Counter& EstimatesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Default().GetCounter("mc.estimates");
+  return counter;
+}
+
+}  // namespace
 
 WalkSet::WalkSet(const DirectedGraph& graph, Vertex origin, uint32_t num_walks)
     : graph_(graph),
       positions_(num_walks, origin),
       live_count_(num_walks) {
   SIMRANK_CHECK_LT(origin, graph.NumVertices());
+  WalksStartedCounter().Add(num_walks);
 }
 
 void WalkSet::Advance(Rng& rng) {
@@ -25,6 +53,7 @@ WalkProfile::WalkProfile(const DirectedGraph& graph,
     : origin_(origin), num_walks_(num_walks) {
   params.Validate();
   SIMRANK_CHECK_GE(num_walks, 1u);
+  ProfilesBuiltCounter().Add(1);
   steps_.reserve(params.num_steps);
   WalkSet walks(graph, origin, num_walks);
   for (uint32_t t = 0; t < params.num_steps; ++t) {
@@ -63,6 +92,7 @@ double MonteCarloSimRank::EstimateAgainstProfile(const WalkProfile& profile,
                                                  Rng& rng) const {
   SIMRANK_CHECK_GE(num_walks, 1u);
   SIMRANK_CHECK_LT(v, graph_.NumVertices());
+  EstimatesCounter().Add(1);
   const double normalizer =
       1.0 / (static_cast<double>(profile.num_walks()) *
              static_cast<double>(num_walks));

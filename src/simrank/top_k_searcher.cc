@@ -3,10 +3,56 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "simrank/linear.h"
 #include "util/timer.h"
 
 namespace simrank {
+
+namespace {
+
+// Registry-backed query metrics. References are resolved once (registry
+// lookup takes a mutex) and cached for the process lifetime; bumping them
+// is a relaxed atomic add, so the per-query flush in Query() costs a
+// handful of nanoseconds.
+struct QueryMetrics {
+  obs::Counter& queries;
+  obs::Counter& candidates_enumerated;
+  obs::Counter& pruned_by_distance;
+  obs::Counter& pruned_by_l1;
+  obs::Counter& pruned_by_l2;
+  obs::Counter& rough_estimates;
+  obs::Counter& skipped_after_estimate;
+  obs::Counter& refined;
+  obs::Histogram& latency_ns;
+  obs::Histogram& samples;
+
+  QueryMetrics()
+      : queries(Registry().GetCounter("query.count")),
+        candidates_enumerated(
+            Registry().GetCounter("query.candidates_enumerated")),
+        pruned_by_distance(Registry().GetCounter("query.pruned_by_distance")),
+        pruned_by_l1(Registry().GetCounter("query.pruned_by_l1")),
+        pruned_by_l2(Registry().GetCounter("query.pruned_by_l2")),
+        rough_estimates(Registry().GetCounter("query.rough_estimates")),
+        skipped_after_estimate(
+            Registry().GetCounter("query.skipped_after_estimate")),
+        refined(Registry().GetCounter("query.refined")),
+        latency_ns(Registry().GetHistogram("query.latency_ns")),
+        samples(Registry().GetHistogram("query.samples")) {}
+
+  static obs::MetricsRegistry& Registry() {
+    return obs::MetricsRegistry::Default();
+  }
+};
+
+QueryMetrics& GetQueryMetrics() {
+  static QueryMetrics* metrics = new QueryMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 QueryWorkspace::QueryWorkspace(const TopKSearcher& searcher)
     : bfs_(searcher.graph()), marks_(searcher.graph().NumVertices(), 0) {}
@@ -33,8 +79,11 @@ TopKSearcher::TopKSearcher(const DirectedGraph& graph, SearchOptions options,
 
 void TopKSearcher::BuildIndex(ThreadPool* pool) {
   if (index_built_) return;
+  obs::ScopedSpan build_span("build_index");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   WallTimer timer;
   if (diagonal_pending_) {
+    obs::ScopedSpan span("estimate_diagonal");
     WallTimer diagonal_timer;
     diagonal_ = EstimateDiagonalFixedPoint(graph_, options_.simrank,
                                            options_.diagonal_options, pool);
@@ -42,19 +91,43 @@ void TopKSearcher::BuildIndex(ThreadPool* pool) {
                                                      diagonal_);
     diagonal_pending_ = false;
     diagonal_seconds_ = diagonal_timer.ElapsedSeconds();
+    registry.GetGauge("index.build_diagonal_us")
+        .Set(static_cast<int64_t>(diagonal_seconds_ * 1e6));
   }
   if (options_.use_l2_bound) {
+    obs::ScopedSpan span("gamma_table");
+    WallTimer gamma_timer;
     gamma_ = std::make_unique<GammaTable>(GammaTable::BuildMonteCarlo(
         graph_, options_.simrank, diagonal_, options_.gamma_walks,
         MixSeeds(options_.seed, 0xA1505), pool));
+    registry.GetGauge("index.build_gamma_us")
+        .Set(static_cast<int64_t>(gamma_timer.ElapsedSeconds() * 1e6));
   }
   if (options_.use_index) {
+    obs::ScopedSpan span("candidate_index");
+    WallTimer index_timer;
     index_ = std::make_unique<CandidateIndex>(
         graph_, options_.simrank, options_.index_params,
         MixSeeds(options_.seed, 0x1DE8), pool);
+    registry.GetGauge("index.build_candidate_us")
+        .Set(static_cast<int64_t>(index_timer.ElapsedSeconds() * 1e6));
+    registry.GetGauge("index.entries")
+        .Set(static_cast<int64_t>(index_->NumEntries()));
   }
   preprocess_seconds_ = timer.ElapsedSeconds();
   index_built_ = true;
+  registry.GetCounter("index.builds").Add(1);
+  registry.GetGauge("index.build_total_us")
+      .Set(static_cast<int64_t>(preprocess_seconds_ * 1e6));
+  registry.GetGauge("index.bytes")
+      .Set(static_cast<int64_t>(PreprocessBytes()));
+  if (pool != nullptr) {
+    const ThreadPoolStats pool_stats = pool->stats();
+    registry.GetGauge("threadpool.tasks_executed")
+        .Set(static_cast<int64_t>(pool_stats.tasks_executed));
+    registry.GetGauge("threadpool.queue_wait_us")
+        .Set(static_cast<int64_t>(pool_stats.queue_wait_seconds * 1e6));
+  }
 }
 
 void TopKSearcher::AdoptPrebuiltIndex(std::unique_ptr<GammaTable> gamma,
@@ -95,6 +168,7 @@ QueryResult TopKSearcher::Query(Vertex query,
   SIMRANK_CHECK(!options_.use_index || index_ != nullptr);
   // estimate_diagonal requires the BuildIndex preprocess to have run.
   SIMRANK_CHECK(!diagonal_pending_);
+  obs::ScopedSpan query_span("query");
   WallTimer timer;
   QueryResult result;
   QueryStats& stats = result.stats;
@@ -106,20 +180,26 @@ QueryResult TopKSearcher::Query(Vertex query,
   // discovery order doubles as the index-free candidate enumeration. The
   // horizon covers both d_max and the walk radius T-1 needed by the L1
   // bound's alpha table.
-  const uint32_t horizon =
-      std::max(options_.max_distance, params.num_steps - 1);
-  workspace.bfs_.Run(query, EdgeDirection::kUndirected, horizon);
+  {
+    obs::ScopedSpan span("bfs");
+    const uint32_t horizon =
+        std::max(options_.max_distance, params.num_steps - 1);
+    workspace.bfs_.Run(query, EdgeDirection::kUndirected, horizon);
+  }
 
   // L1 bound table beta(u, d) (Algorithm 2) — computed per query.
   std::vector<double> beta;
   if (options_.use_l1_bound) {
+    obs::ScopedSpan span("l1_bound");
     beta = ComputeL1Beta(graph_, params, diagonal_, query, options_.l1_walks,
                          workspace.bfs_, options_.max_distance, rng);
   }
 
   // The query vertex's walk profile, shared by every candidate estimate.
-  const WalkProfile profile =
-      estimator_->BuildProfile(query, options_.profile_walks, rng);
+  const WalkProfile profile = [&] {
+    obs::ScopedSpan span("profile");
+    return estimator_->BuildProfile(query, options_.profile_walks, rng);
+  }();
 
   TopKCollector collector(options_.k);
   auto cutoff = [&]() {
@@ -129,27 +209,32 @@ QueryResult TopKSearcher::Query(Vertex query,
   auto consider = [&](Vertex v) {
     if (v == query) return;
     ++stats.candidates_enumerated;
-    const uint32_t distance = workspace.bfs_.Distance(v);
-    if (distance == kInfiniteDistance || distance > options_.max_distance) {
-      ++stats.pruned_by_distance;
-      return;
-    }
-    // Cheapest bound first; each bound only tightens the previous one.
-    if (options_.use_distance_bound &&
-        DistanceBound(params.decay, distance) < cutoff()) {
-      ++stats.pruned_by_distance;
-      return;
-    }
-    if (options_.use_l1_bound && beta[distance] < cutoff()) {
-      ++stats.pruned_by_l1;
-      return;
-    }
-    if (options_.use_l2_bound &&
-        gamma_->BoundAtDistance(query, v, distance) < cutoff()) {
-      ++stats.pruned_by_l2;
-      return;
+    {
+      obs::ScopedSpan bounds_span("bound_pruning");
+      const uint32_t distance = workspace.bfs_.Distance(v);
+      if (distance == kInfiniteDistance ||
+          distance > options_.max_distance) {
+        ++stats.pruned_by_distance;
+        return;
+      }
+      // Cheapest bound first; each bound only tightens the previous one.
+      if (options_.use_distance_bound &&
+          DistanceBound(params.decay, distance) < cutoff()) {
+        ++stats.pruned_by_distance;
+        return;
+      }
+      if (options_.use_l1_bound && beta[distance] < cutoff()) {
+        ++stats.pruned_by_l1;
+        return;
+      }
+      if (options_.use_l2_bound &&
+          gamma_->BoundAtDistance(query, v, distance) < cutoff()) {
+        ++stats.pruned_by_l2;
+        return;
+      }
     }
     if (options_.adaptive_sampling) {
+      obs::ScopedSpan estimate_span("rough_estimate");
       ++stats.rough_estimates;
       const double rough = estimator_->EstimateAgainstProfile(
           profile, v, options_.estimate_walks, rng);
@@ -158,23 +243,43 @@ QueryResult TopKSearcher::Query(Vertex query,
         return;
       }
     }
+    obs::ScopedSpan refine_span("refine");
     ++stats.refined;
     const double score = estimator_->EstimateAgainstProfile(
         profile, v, options_.refine_walks, rng);
     if (score >= options_.threshold) collector.Push(v, score);
   };
 
-  if (options_.use_index) {
-    index_->ForEachCandidate(query, workspace.marks_, workspace.epoch_,
-                             consider);
-  } else {
-    // Ascending-distance scan (§2.2): BFS discovery order is sorted by
-    // distance, so the bound pruning sees nearer candidates first.
-    for (Vertex v : workspace.bfs_.Reached()) consider(v);
+  {
+    obs::ScopedSpan span("candidate_enumeration");
+    if (options_.use_index) {
+      index_->ForEachCandidate(query, workspace.marks_, workspace.epoch_,
+                               consider);
+    } else {
+      // Ascending-distance scan (§2.2): BFS discovery order is sorted by
+      // distance, so the bound pruning sees nearer candidates first.
+      for (Vertex v : workspace.bfs_.Reached()) consider(v);
+    }
   }
 
   result.top = collector.TakeSorted();
   stats.seconds = timer.ElapsedSeconds();
+
+  // Flush the per-query view into the process-wide registry (QueryStats
+  // stays the caller-facing view of the same numbers).
+  QueryMetrics& metrics = GetQueryMetrics();
+  metrics.queries.Add(1);
+  metrics.candidates_enumerated.Add(stats.candidates_enumerated);
+  metrics.pruned_by_distance.Add(stats.pruned_by_distance);
+  metrics.pruned_by_l1.Add(stats.pruned_by_l1);
+  metrics.pruned_by_l2.Add(stats.pruned_by_l2);
+  metrics.rough_estimates.Add(stats.rough_estimates);
+  metrics.skipped_after_estimate.Add(stats.skipped_after_estimate);
+  metrics.refined.Add(stats.refined);
+  metrics.latency_ns.RecordSeconds(stats.seconds);
+  metrics.samples.Record(options_.profile_walks +
+                         stats.rough_estimates * options_.estimate_walks +
+                         stats.refined * options_.refine_walks);
   return result;
 }
 
@@ -185,6 +290,7 @@ QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group) const {
 
 QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group,
                                      QueryWorkspace& workspace) const {
+  obs::ScopedSpan group_span("query_group");
   WallTimer timer;
   QueryResult result;
   // Aggregate scores sparsely: dense accumulator + touched list.
@@ -193,15 +299,7 @@ QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group,
   std::vector<Vertex> touched;
   for (Vertex member : group) {
     const QueryResult member_result = Query(member, workspace);
-    result.stats.candidates_enumerated +=
-        member_result.stats.candidates_enumerated;
-    result.stats.pruned_by_distance += member_result.stats.pruned_by_distance;
-    result.stats.pruned_by_l1 += member_result.stats.pruned_by_l1;
-    result.stats.pruned_by_l2 += member_result.stats.pruned_by_l2;
-    result.stats.rough_estimates += member_result.stats.rough_estimates;
-    result.stats.skipped_after_estimate +=
-        member_result.stats.skipped_after_estimate;
-    result.stats.refined += member_result.stats.refined;
+    result.stats += member_result.stats;
     for (const ScoredVertex& entry : member_result.top) {
       if (votes[entry.vertex] == 0.0) touched.push_back(entry.vertex);
       votes[entry.vertex] += entry.score;

@@ -83,7 +83,11 @@ struct SearchOptions {
   uint64_t seed = 42;
 };
 
-/// Per-query instrumentation, reported alongside the ranking.
+/// Per-query instrumentation, reported alongside the ranking. This is a
+/// caller-local *view*: the same numbers also feed the process-wide
+/// "query.*" metrics of obs::MetricsRegistry::Default() (counters plus
+/// the query.latency_ns / query.samples histograms), which is where
+/// cross-query aggregates, percentiles and JSON export live.
 struct QueryStats {
   uint64_t candidates_enumerated = 0;
   uint64_t pruned_by_distance = 0;  ///< horizon or c^(d/2) bound
@@ -93,6 +97,21 @@ struct QueryStats {
   uint64_t skipped_after_estimate = 0;
   uint64_t refined = 0;
   double seconds = 0.0;
+
+  /// Field-wise accumulation (group queries, all-pairs shards, bench
+  /// loops). `seconds` adds too: the sum is total query time, which is
+  /// cumulative-CPU-like when members ran on several threads.
+  QueryStats& operator+=(const QueryStats& other) {
+    candidates_enumerated += other.candidates_enumerated;
+    pruned_by_distance += other.pruned_by_distance;
+    pruned_by_l1 += other.pruned_by_l1;
+    pruned_by_l2 += other.pruned_by_l2;
+    rough_estimates += other.rough_estimates;
+    skipped_after_estimate += other.skipped_after_estimate;
+    refined += other.refined;
+    seconds += other.seconds;
+    return *this;
+  }
 };
 
 /// Result of one top-k query.

@@ -1,6 +1,8 @@
 #ifndef SIMRANK_UTIL_CHECK_H_
 #define SIMRANK_UTIL_CHECK_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,9 +13,36 @@
 
 namespace simrank::internal {
 
+/// Optional failure-context hook: formats a NUL-terminated description of
+/// what the failing thread was doing (e.g. its open obs span path) into
+/// `buffer`, or leaves it empty. Registered by higher layers (obs does so
+/// when tracing is first activated); util itself never depends on them —
+/// the hook is best-effort by construction.
+using CheckContextFn = void (*)(char* buffer, size_t buffer_size);
+
+inline std::atomic<CheckContextFn>& CheckContextProvider() {
+  static std::atomic<CheckContextFn> provider{nullptr};
+  return provider;
+}
+
+inline void SetCheckContextProvider(CheckContextFn fn) {
+  CheckContextProvider().store(fn, std::memory_order_release);
+}
+
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  char context[256];
+  context[0] = '\0';
+  if (CheckContextFn fn =
+          CheckContextProvider().load(std::memory_order_acquire)) {
+    fn(context, sizeof(context));
+  }
+  if (context[0] != '\0') {
+    std::fprintf(stderr, "CHECK failed at %s:%d: %s (in span %s)\n", file,
+                 line, expr, context);
+  } else {
+    std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  }
   // Flush before dying: stderr is unbuffered by default but may have been
   // redirected into a fully-buffered pipe (ctest, CI), where an unflushed
   // message would be lost. std::abort (not _exit / terminate) so the

@@ -1,6 +1,7 @@
 #ifndef SIMRANK_UTIL_COUNTER_H_
 #define SIMRANK_UTIL_COUNTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -55,6 +56,16 @@ class WalkCounter {
   /// Number of distinct keys currently stored.
   size_t DistinctKeys() const { return used_slots_.size(); }
 
+  /// Process-wide count of table growths (rehashes) across all
+  /// WalkCounters. Growth means a counter was constructed with too small a
+  /// capacity — the obs subsystem surfaces this as the
+  /// "util.walk_counter.grows" gauge so sizing regressions show up in
+  /// bench metrics. (Raw atomic rather than an obs metric: util must not
+  /// depend on obs.)
+  static uint64_t TotalGrows() {
+    return GrowCount().load(std::memory_order_relaxed);
+  }
+
   /// Invokes fn(key, count) for each distinct key, in insertion order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
@@ -78,7 +89,13 @@ class WalkCounter {
     used_slots_.reserve(capacity);
   }
 
+  static std::atomic<uint64_t>& GrowCount() {
+    static std::atomic<uint64_t> count{0};
+    return count;
+  }
+
   void Grow() {
+    GrowCount().fetch_add(1, std::memory_order_relaxed);
     std::vector<Entry> old;
     old.reserve(used_slots_.size());
     for (size_t i : used_slots_) old.push_back(slots_[i]);

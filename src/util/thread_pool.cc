@@ -27,7 +27,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     SIMRANK_CHECK(!shutting_down_);
-    tasks_.push(std::move(task));
+    tasks_.push({std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
   work_available_.notify_one();
@@ -43,6 +43,11 @@ void ThreadPool::Wait() {
   if (error) std::rethrow_exception(error);
 }
 
+ThreadPoolStats ThreadPool::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return {tasks_executed_, queue_wait_seconds_};
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -51,7 +56,11 @@ void ThreadPool::WorkerLoop() {
       work_available_.wait(
           lock, [this] { return shutting_down_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // shutting down
-      task = std::move(tasks_.front());
+      task = std::move(tasks_.front().fn);
+      queue_wait_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        tasks_.front().enqueued)
+              .count();
       tasks_.pop();
     }
     std::exception_ptr error;
@@ -67,6 +76,7 @@ void ThreadPool::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (error && !first_error_) first_error_ = error;
+      ++tasks_executed_;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -1,8 +1,10 @@
 #ifndef SIMRANK_UTIL_THREAD_POOL_H_
 #define SIMRANK_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -11,6 +13,16 @@
 #include <vector>
 
 namespace simrank {
+
+/// Cumulative instrumentation of one ThreadPool. Snapshot via
+/// ThreadPool::stats(); the obs layer publishes these as
+/// "threadpool.*" metrics (util itself has no obs dependency).
+struct ThreadPoolStats {
+  /// Tasks that finished executing (including ones that threw).
+  uint64_t tasks_executed = 0;
+  /// Total time tasks spent queued before a worker picked them up.
+  double queue_wait_seconds = 0.0;
+};
 
 /// Fixed-size worker pool. The all-pairs similarity search is embarrassingly
 /// parallel over query vertices (the paper's "distributed computing
@@ -50,17 +62,27 @@ class ThreadPool {
   /// receives a given exception.
   void Wait();
 
+  /// Cumulative execution statistics since construction. Thread-safe.
+  ThreadPoolStats stats() const;
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  std::queue<QueuedTask> tasks_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;           // queued + running tasks (guarded by mutex_)
   bool shutting_down_ = false;     // guarded by mutex_
   std::exception_ptr first_error_;  // guarded by mutex_
+  uint64_t tasks_executed_ = 0;     // guarded by mutex_
+  double queue_wait_seconds_ = 0.0;  // guarded by mutex_
 };
 
 /// Runs fn(i) for i in [begin, end), statically chunked over `pool` (or

@@ -1,0 +1,348 @@
+// Tests for the JSON exporters: JsonWriter output is verified with a
+// minimal in-test recursive-descent parser (round-trip), and the
+// simrank-obs-v1 / simrank-bench-v1 documents are checked for their
+// schema-stable fields (CI validates the same fields on the real
+// bench_micro output).
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace simrank::obs {
+namespace {
+
+// ---------- a minimal JSON model + parser (test-only) ----------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& At(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_NE(it, object.end()) << "missing key " << key;
+    static const JsonValue kNullValue;
+    return it == object.end() ? kNullValue : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue& out) {
+    const bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          const unsigned code = static_cast<unsigned>(
+              std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
+          if (code > 0x7F) return false;  // exporter only escapes ASCII
+          out += static_cast<char>(code);
+          pos_ += 4;
+          break;
+        }
+        default: return false;
+      }
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return ParseString(out.string);
+    }
+    if (ConsumeLiteral("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    if (ConsumeLiteral("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (ConsumeLiteral("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    // Number.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::stod(std::string(text_.substr(pos_, end - pos_)));
+    pos_ = end;
+    return true;
+  }
+
+  bool ParseObject(JsonValue& out) {
+    if (!Consume('{')) return false;
+    out.kind = JsonValue::Kind::kObject;
+    if (Consume('}')) return true;
+    do {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.object.emplace(std::move(key), std::move(value));
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  bool ParseArray(JsonValue& out) {
+    if (!Consume('[')) return false;
+    out.kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return true;
+    do {
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.array.push_back(std::move(value));
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+JsonValue ParseOrFail(const std::string& text) {
+  JsonValue value;
+  JsonParser parser(text);
+  EXPECT_TRUE(parser.Parse(value)) << "unparseable JSON: " << text;
+  return value;
+}
+
+// ---------- JsonWriter ----------
+
+TEST(JsonWriterTest, NestedStructuresRoundTrip) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("simrank");
+  json.Key("count").Uint(42);
+  json.Key("delta").Int(-7);
+  json.Key("ratio").Double(0.125);
+  json.Key("on").Bool(true);
+  json.Key("off").Bool(false);
+  json.Key("nothing").Null();
+  json.Key("list").BeginArray();
+  json.Uint(1).Uint(2).Uint(3);
+  json.EndArray();
+  json.Key("nested").BeginObject().Key("inner").String("x").EndObject();
+  json.EndObject();
+
+  const JsonValue doc = ParseOrFail(json.TakeString());
+  EXPECT_EQ(doc.At("name").string, "simrank");
+  EXPECT_EQ(doc.At("count").number, 42.0);
+  EXPECT_EQ(doc.At("delta").number, -7.0);
+  EXPECT_EQ(doc.At("ratio").number, 0.125);
+  EXPECT_TRUE(doc.At("on").boolean);
+  EXPECT_FALSE(doc.At("off").boolean);
+  EXPECT_EQ(doc.At("nothing").kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(doc.At("list").array.size(), 3u);
+  EXPECT_EQ(doc.At("list").array[2].number, 3.0);
+  EXPECT_EQ(doc.At("nested").At("inner").string, "x");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("text").String("a\"b\\c\nd\te\x01" "f");
+  json.EndObject();
+  const std::string raw = json.TakeString();
+  EXPECT_NE(raw.find("\\\""), std::string::npos);
+  EXPECT_NE(raw.find("\\\\"), std::string::npos);
+  EXPECT_NE(raw.find("\\n"), std::string::npos);
+  EXPECT_NE(raw.find("\\u0001"), std::string::npos);
+  const JsonValue doc = ParseOrFail(raw);
+  EXPECT_EQ(doc.At("text").string, "a\"b\\c\nd\te\x01" "f");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(std::nan(""));
+  json.Double(1.0 / 0.0);
+  json.Double(1.5);
+  json.EndArray();
+  const JsonValue doc = ParseOrFail(json.TakeString());
+  ASSERT_EQ(doc.array.size(), 3u);
+  EXPECT_EQ(doc.array[0].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.array[1].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.array[2].number, 1.5);
+}
+
+TEST(JsonWriterTest, DoubleSurvivesRoundTripExactly) {
+  // %.17g is enough digits to reconstruct any double bit-exactly.
+  const double value = 0.1 + 0.2;
+  JsonWriter json;
+  json.BeginArray().Double(value).EndArray();
+  const JsonValue doc = ParseOrFail(json.TakeString());
+  EXPECT_EQ(doc.array[0].number, value);
+}
+
+// ---------- schema documents ----------
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("query.count").Add(12);
+  registry.GetGauge("index.bytes").Set(4096);
+  Histogram& h = registry.GetHistogram("query.latency_ns");
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v * 1000);
+  return registry.Snapshot();
+}
+
+TEST(MetricsToJsonTest, ObsV1Schema) {
+  Tracer tracer;
+  {
+    TraceScope scope(tracer);
+    ScopedSpan outer("query");
+    ScopedSpan inner("bfs");
+  }
+  const JsonValue doc =
+      ParseOrFail(MetricsToJson(SampleSnapshot(), &tracer.root()));
+  EXPECT_EQ(doc.At("schema").string, "simrank-obs-v1");
+  EXPECT_FALSE(doc.At("git_rev").string.empty());
+  EXPECT_EQ(doc.At("counters").At("query.count").number, 12.0);
+  EXPECT_EQ(doc.At("gauges").At("index.bytes").number, 4096.0);
+  const JsonValue& histogram =
+      doc.At("histograms").At("query.latency_ns");
+  EXPECT_EQ(histogram.At("count").number, 100.0);
+  EXPECT_GT(histogram.At("p95").number, histogram.At("p50").number);
+  // Percentiles are bucket midpoints, so p99 may exceed the exact max by
+  // up to the quantization error (~6.25%).
+  EXPECT_GE(histogram.At("max").number * 1.07,
+            histogram.At("p99").number);
+  const JsonValue& trace = doc.At("trace");
+  EXPECT_EQ(trace.At("name").string, "trace");
+  ASSERT_EQ(trace.At("children").array.size(), 1u);
+  const JsonValue& query = trace.At("children").array[0];
+  EXPECT_EQ(query.At("name").string, "query");
+  EXPECT_EQ(query.At("count").number, 1.0);
+  EXPECT_EQ(query.At("children").array[0].At("name").string, "bfs");
+}
+
+TEST(BenchReportToJsonTest, BenchV1Schema) {
+  BenchReport report;
+  report.bench = "bench_micro";
+  report.args["scale"] = "0.05";
+  BenchCase bench_case;
+  bench_case.name = "BM_TopKQuery";
+  bench_case.wall_seconds = 0.25;
+  bench_case.values["iterations"] = 100.0;
+  report.cases.push_back(bench_case);
+
+  const JsonValue doc =
+      ParseOrFail(BenchReportToJson(report, SampleSnapshot()));
+  EXPECT_EQ(doc.At("schema").string, "simrank-bench-v1");
+  EXPECT_EQ(doc.At("bench").string, "bench_micro");
+  EXPECT_FALSE(doc.At("git_rev").string.empty());
+  EXPECT_EQ(doc.At("args").At("scale").string, "0.05");
+  ASSERT_EQ(doc.At("cases").array.size(), 1u);
+  const JsonValue& c = doc.At("cases").array[0];
+  EXPECT_EQ(c.At("name").string, "BM_TopKQuery");
+  EXPECT_EQ(c.At("wall_seconds").number, 0.25);
+  EXPECT_EQ(c.At("values").At("iterations").number, 100.0);
+  EXPECT_EQ(doc.At("metrics").At("counters").At("query.count").number, 12.0);
+}
+
+TEST(WriteJsonTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/obs_snapshot.json";
+  const Status status = WriteJson(path, SampleSnapshot());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  const JsonValue doc = ParseOrFail(text);
+  EXPECT_EQ(doc.At("schema").string, "simrank-obs-v1");
+}
+
+TEST(WriteJsonTest, UnwritablePathReturnsError) {
+  const Status status =
+      WriteJson("/nonexistent-dir-xyz/out.json", SampleSnapshot());
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace simrank::obs

@@ -1,0 +1,262 @@
+// Tests for the obs metrics layer: counters, gauges, log-scale histogram
+// bucketing and percentiles, the registry, and multi-threaded recording
+// (the stress tests double as the TSan race-detection workload for the
+// lock-free hot path).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/counter.h"
+
+namespace simrank::obs {
+namespace {
+
+TEST(CounterTest, AddAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, DisabledIsNoOp) {
+  Counter counter;
+  SetEnabled(false);
+  counter.Add(100);
+  SetEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add(1);
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+// ---------- histogram bucketing ----------
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Below 2 * kSubBuckets the log-linear scheme degenerates to identity
+  // bucketing: every value has its own bucket with itself as midpoint.
+  for (uint64_t v = 0; v < 2 * Histogram::kSubBuckets; ++v) {
+    const uint32_t index = Histogram::BucketIndex(v);
+    EXPECT_EQ(Histogram::BucketRepresentative(index),
+              static_cast<double>(v))
+        << "value " << v;
+  }
+}
+
+TEST(HistogramTest, BucketIndexIsMonotonic) {
+  uint32_t previous = 0;
+  for (uint64_t v = 0; v < 100000; v += 37) {
+    const uint32_t index = Histogram::BucketIndex(v);
+    EXPECT_GE(index, previous) << "value " << v;
+    EXPECT_LT(index, Histogram::kNumBuckets);
+    previous = index;
+  }
+  EXPECT_LT(Histogram::BucketIndex(~0ull), Histogram::kNumBuckets);
+}
+
+TEST(HistogramTest, RepresentativeWithinRelativeErrorBound) {
+  // Bucket width is at most value / kSubBuckets, and the representative is
+  // the midpoint, so the relative error is bounded by 1/(2*kSubBuckets).
+  const double bound = 1.0 / (2.0 * Histogram::kSubBuckets) + 1e-12;
+  for (uint64_t v = 1; v < (1ull << 40); v = v * 3 + 1) {
+    const double rep =
+        Histogram::BucketRepresentative(Histogram::BucketIndex(v));
+    const double rel = std::abs(rep - static_cast<double>(v)) / v;
+    EXPECT_LE(rel, bound) << "value " << v << " representative " << rep;
+  }
+}
+
+// ---------- histogram percentiles ----------
+
+TEST(HistogramTest, PercentilesOfUniformRange) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  EXPECT_EQ(histogram.Count(), 1000u);
+  EXPECT_EQ(histogram.Sum(), 500500u);
+  EXPECT_EQ(histogram.Max(), 1000u);
+  // Quantization error is < 6.25%; allow a bit more for rank rounding.
+  EXPECT_NEAR(histogram.Percentile(50), 500.0, 500.0 * 0.08);
+  EXPECT_NEAR(histogram.Percentile(95), 950.0, 950.0 * 0.08);
+  EXPECT_NEAR(histogram.Percentile(99), 990.0, 990.0 * 0.08);
+  EXPECT_NEAR(histogram.Percentile(100), 1000.0, 1000.0 * 0.08);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Percentile(50), 0.0);  // empty
+  histogram.Record(7);
+  // A single sample is every percentile (and exact: 7 < 16).
+  EXPECT_EQ(histogram.Percentile(0), 7.0);
+  EXPECT_EQ(histogram.Percentile(50), 7.0);
+  EXPECT_EQ(histogram.Percentile(100), 7.0);
+}
+
+TEST(HistogramTest, SkewedDistribution) {
+  // 99 fast samples at ~10, one slow outlier: p50 stays small, p99+ sees
+  // the tail — the exact property that motivates latency histograms.
+  Histogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.Record(10);
+  histogram.Record(1000000);
+  EXPECT_EQ(histogram.Percentile(50), 10.0);
+  EXPECT_EQ(histogram.Percentile(95), 10.0);
+  EXPECT_NEAR(histogram.Percentile(100), 1e6, 1e6 * 0.07);
+  EXPECT_EQ(histogram.Max(), 1000000u);
+}
+
+TEST(HistogramTest, SnapshotMatchesAccessors) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 100; ++v) histogram.Record(v);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 100u);
+  EXPECT_EQ(snapshot.sum, 5050u);
+  EXPECT_EQ(snapshot.max, 100u);
+  EXPECT_DOUBLE_EQ(snapshot.mean, 50.5);
+  EXPECT_NEAR(snapshot.p50, 50.0, 50.0 * 0.08);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, RecordSecondsConvertsToNanoseconds) {
+  Histogram histogram;
+  histogram.RecordSeconds(0.001);
+  histogram.RecordSeconds(-5.0);  // clamps to 0
+  EXPECT_EQ(histogram.Count(), 2u);
+  EXPECT_NEAR(histogram.Percentile(100), 1e6, 1e6 * 0.07);
+}
+
+// ---------- registry ----------
+
+TEST(MetricsRegistryTest, LookupIsStableAndIdempotent) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("test.counter");
+  Counter& b = registry.GetCounter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+  Gauge& g = registry.GetGauge("test.gauge");
+  Histogram& h = registry.GetHistogram("test.histogram");
+  g.Set(-9);
+  h.Record(12);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("test.counter"), 3u);
+  EXPECT_EQ(snapshot.gauges.at("test.gauge"), -9);
+  EXPECT_EQ(snapshot.histograms.at("test.histogram").count, 1u);
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeEvaluatedAtSnapshot) {
+  MetricsRegistry registry;
+  int64_t source = 5;
+  registry.RegisterCallbackGauge("test.callback",
+                                 [&source] { return source; });
+  EXPECT_EQ(registry.Snapshot().gauges.at("test.callback"), 5);
+  source = 11;
+  EXPECT_EQ(registry.Snapshot().gauges.at("test.callback"), 11);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesStoredMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.counter").Add(4);
+  registry.GetGauge("test.gauge").Set(4);
+  registry.GetHistogram("test.histogram").Record(4);
+  registry.ResetAll();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("test.counter"), 0u);
+  EXPECT_EQ(snapshot.gauges.at("test.gauge"), 0);
+  EXPECT_EQ(snapshot.histograms.at("test.histogram").count, 0u);
+}
+
+TEST(MetricsRegistryTest, DefaultExposesWalkCounterGrowths) {
+  // The registry bridges util's WalkCounter growth count (util cannot
+  // depend on obs) via a callback gauge.
+  const int64_t before = MetricsRegistry::Default()
+                             .Snapshot()
+                             .gauges.at("util.walk_counter.grows");
+  WalkCounter counter(2);
+  for (uint32_t k = 0; k < 100; ++k) counter.Add(k);  // forces growth
+  const int64_t after = MetricsRegistry::Default()
+                            .Snapshot()
+                            .gauges.at("util.walk_counter.grows");
+  EXPECT_GT(after, before);
+}
+
+// ---------- concurrency (the TSan workload) ----------
+
+TEST(MetricsConcurrencyTest, ParallelCountersAndHistogramsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIterations = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Lookups race on the registry mutex; Adds race on the atomics.
+      Counter& shared = registry.GetCounter("stress.shared");
+      Histogram& histogram = registry.GetHistogram("stress.latency");
+      Gauge& gauge = registry.GetGauge("stress.gauge");
+      Counter& mine =
+          registry.GetCounter("stress.thread_" + std::to_string(t));
+      for (uint64_t i = 0; i < kIterations; ++i) {
+        shared.Add(1);
+        mine.Add(1);
+        gauge.Add(1);
+        histogram.Record(i % 1024);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("stress.shared"), kThreads * kIterations);
+  EXPECT_EQ(snapshot.gauges.at("stress.gauge"),
+            static_cast<int64_t>(kThreads * kIterations));
+  EXPECT_EQ(snapshot.histograms.at("stress.latency").count,
+            kThreads * kIterations);
+  EXPECT_EQ(snapshot.histograms.at("stress.latency").max, 1023u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snapshot.counters.at("stress.thread_" + std::to_string(t)),
+              kIterations);
+  }
+}
+
+TEST(MetricsConcurrencyTest, SnapshotsRaceWithWriters) {
+  // Readers snapshot while writers hammer the same histogram; values are
+  // approximate mid-flight, but every read must be torn-free and in range.
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("stress.snap");
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&histogram] {
+      for (uint64_t i = 0; i < 20000; ++i) histogram.Record(100);
+    });
+  }
+  for (int s = 0; s < 50; ++s) {
+    const HistogramSnapshot snapshot = registry.Snapshot()
+                                           .histograms.at("stress.snap");
+    EXPECT_LE(snapshot.count, 4u * 20000u);
+    EXPECT_TRUE(snapshot.max == 0 || snapshot.max == 100);
+  }
+  for (std::thread& thread : writers) thread.join();
+  EXPECT_EQ(histogram.Count(), 4u * 20000u);
+}
+
+}  // namespace
+}  // namespace simrank::obs

@@ -1,0 +1,183 @@
+// Tests for the span/tracing layer: tree construction, merge-by-name,
+// the child-time invariant, tracer activation, the CHECK-context hook,
+// and the end-to-end span shape of an instrumented TopKSearcher query.
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/span.h"
+#include "simrank/top_k_searcher.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace simrank::obs {
+namespace {
+
+// Recursively asserts the structural timing invariant: for every closed
+// node, its children's inclusive times sum to at most its own. The
+// synthetic root container is never timed itself, so the check starts at
+// its children.
+void ExpectChildTimesNested(const SpanNode& node) {
+  EXPECT_LE(node.ChildSeconds(), node.seconds + 1e-9) << "span " << node.name;
+  for (const auto& child : node.children) ExpectChildTimesNested(*child);
+}
+
+void ExpectChildTimesFromRoot(const SpanNode& root) {
+  for (const auto& child : root.children) ExpectChildTimesNested(*child);
+}
+
+TEST(ScopedSpanTest, InertWithoutActiveTracer) {
+  EXPECT_EQ(ActiveTracer(), nullptr);
+  ScopedSpan span("orphan");  // must be a harmless no-op
+  EXPECT_EQ(ActiveTracer(), nullptr);
+}
+
+TEST(TracerTest, BuildsHierarchy) {
+  Tracer tracer;
+  {
+    TraceScope scope(tracer);
+    EXPECT_EQ(ActiveTracer(), &tracer);
+    ScopedSpan outer("outer");
+    EXPECT_EQ(tracer.CurrentPath(), "outer");
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(tracer.CurrentPath(), "outer/inner");
+      EXPECT_EQ(tracer.OpenDepth(), 2u);
+    }
+  }
+  EXPECT_EQ(ActiveTracer(), nullptr);
+  EXPECT_EQ(tracer.OpenDepth(), 0u);
+
+  const SpanNode* outer = tracer.root().FindChild("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_GE(outer->seconds, 0.0);
+  const SpanNode* inner = outer->FindChild("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 1u);
+  EXPECT_EQ(tracer.root().FindChild("inner"), nullptr);  // nested, not top
+  ExpectChildTimesFromRoot(tracer.root());
+}
+
+TEST(TracerTest, RepeatedSpansMergeByName) {
+  Tracer tracer;
+  TraceScope scope(tracer);
+  for (int i = 0; i < 100; ++i) {
+    ScopedSpan loop("loop_body");
+    ScopedSpan detail("detail");
+  }
+  // 100 iterations collapse into one node per name — the tree stays
+  // O(distinct names) regardless of iteration count.
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  const SpanNode* loop = tracer.root().FindChild("loop_body");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->count, 100u);
+  ASSERT_EQ(loop->children.size(), 1u);
+  EXPECT_EQ(loop->children[0]->count, 100u);
+  ExpectChildTimesFromRoot(tracer.root());
+}
+
+TEST(TracerTest, SiblingsStayDistinct) {
+  Tracer tracer;
+  TraceScope scope(tracer);
+  {
+    ScopedSpan a("alpha");
+  }
+  {
+    ScopedSpan b("beta");
+  }
+  EXPECT_EQ(tracer.root().children.size(), 2u);
+  EXPECT_NE(tracer.root().FindChild("alpha"), nullptr);
+  EXPECT_NE(tracer.root().FindChild("beta"), nullptr);
+}
+
+TEST(TracerTest, ClearResetsTree) {
+  Tracer tracer;
+  {
+    TraceScope scope(tracer);
+    ScopedSpan span("work");
+  }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.root().children.empty());
+  EXPECT_EQ(tracer.CurrentPath(), "");
+}
+
+TEST(TraceScopeTest, RestoresPreviousTracer) {
+  Tracer outer_tracer;
+  Tracer inner_tracer;
+  TraceScope outer(outer_tracer);
+  {
+    TraceScope inner(inner_tracer);
+    ScopedSpan span("inner_work");
+    EXPECT_EQ(ActiveTracer(), &inner_tracer);
+  }
+  EXPECT_EQ(ActiveTracer(), &outer_tracer);
+  EXPECT_NE(inner_tracer.root().FindChild("inner_work"), nullptr);
+  EXPECT_EQ(outer_tracer.root().FindChild("inner_work"), nullptr);
+}
+
+TEST(CheckContextTest, ProviderReportsOpenSpanPath) {
+  Tracer tracer;
+  TraceScope scope(tracer);  // registers the provider on first use
+  ScopedSpan outer("query");
+  ScopedSpan inner("refine");
+  internal::CheckContextFn provider =
+      internal::CheckContextProvider().load(std::memory_order_acquire);
+  ASSERT_NE(provider, nullptr);
+  char buffer[256];
+  provider(buffer, sizeof(buffer));
+  EXPECT_STREQ(buffer, "query/refine");
+}
+
+TEST(CheckContextTest, ProviderEmptyOutsideSpans) {
+  Tracer tracer;
+  TraceScope scope(tracer);
+  internal::CheckContextFn provider =
+      internal::CheckContextProvider().load(std::memory_order_acquire);
+  ASSERT_NE(provider, nullptr);
+  char buffer[256];
+  std::memset(buffer, 'x', sizeof(buffer));
+  provider(buffer, sizeof(buffer));
+  EXPECT_STREQ(buffer, "");
+}
+
+// ---------- end-to-end: the instrumented query pipeline ----------
+
+TEST(InstrumentedPipelineTest, QueryProducesDocumentedSpanTree) {
+  const DirectedGraph graph = testing::SmallRandomGraph(300, 77, 200);
+  SearchOptions options;
+  options.estimate_diagonal = true;  // exercises the estimate_diagonal span
+  TopKSearcher searcher(graph, options);
+
+  Tracer tracer;
+  {
+    TraceScope scope(tracer);
+    searcher.BuildIndex();
+    QueryWorkspace workspace(searcher);
+    for (Vertex v = 0; v < 5; ++v) searcher.Query(v, workspace);
+  }
+
+  const SpanNode* build = tracer.root().FindChild("build_index");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->count, 1u);
+  EXPECT_NE(build->FindChild("estimate_diagonal"), nullptr);
+  EXPECT_NE(build->FindChild("candidate_index"), nullptr);
+
+  const SpanNode* query = tracer.root().FindChild("query");
+  ASSERT_NE(query, nullptr);
+  EXPECT_EQ(query->count, 5u);  // merged across the 5 queries
+  EXPECT_NE(query->FindChild("bfs"), nullptr);
+  EXPECT_NE(query->FindChild("profile"), nullptr);
+  const SpanNode* enumeration = query->FindChild("candidate_enumeration");
+  ASSERT_NE(enumeration, nullptr);
+  // Per-candidate spans nest under the enumeration, not under "query".
+  EXPECT_NE(enumeration->FindChild("bound_pruning"), nullptr);
+  EXPECT_EQ(query->FindChild("bound_pruning"), nullptr);
+
+  ExpectChildTimesFromRoot(tracer.root());
+}
+
+}  // namespace
+}  // namespace simrank::obs

@@ -3,7 +3,10 @@
 // estimation, profile-based candidate scoring, the pruning bounds,
 // truncated BFS, and the full top-k query (instrumented and with the obs
 // subsystem disabled, to measure instrumentation overhead — the pair is
-// recorded in EXPERIMENTS.md).
+// recorded in EXPERIMENTS.md). The serving-engine cases (BM_Engine*)
+// measure the request/response layer: per-query overhead over the bare
+// kernel, result-cache hits, and batched submission vs the hand-rolled
+// serial loop.
 //
 // Beyond the google-benchmark flags, this binary accepts the common bench
 // flags (see bench_common.h): --scale shrinks/grows the synthetic RMAT
@@ -26,6 +29,7 @@
 #include "graph/traversal.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "service/query_engine.h"
 #include "simrank/bounds.h"
 #include "simrank/linear.h"
 #include "simrank/monte_carlo.h"
@@ -218,6 +222,86 @@ void BM_TopKQueryNoObs(benchmark::State& state) {
   obs::SetEnabled(true);
 }
 BENCHMARK(BM_TopKQueryNoObs);
+
+// --- serving engine (src/service/) -----------------------------------------
+
+service::QueryEngine& BenchEngine() {
+  static service::QueryEngine* engine = [] {
+    service::EngineOptions options;  // cache on, hw-concurrency workers
+    auto created = service::QueryEngine::Create(BenchGraph(), options);
+    SIMRANK_CHECK(created.ok());
+    return created.value().release();
+  }();
+  return *engine;
+}
+
+// Engine overhead over the bare kernel: same rotating queries as
+// BM_TopKQuery, cache bypassed so every iteration runs the kernel.
+// EXPERIMENTS.md tracks this against BM_TopKQuery.
+void BM_EngineQuery(benchmark::State& state) {
+  service::QueryEngine& engine = BenchEngine();
+  const std::vector<Vertex>& queries = BenchQueryVertices();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto response = engine.Query(service::QueryRequest::ForVertex(
+                                     queries[i % queries.size()])
+                                     .WithBypassCache());
+    benchmark::DoNotOptimize(response->top.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineQuery);
+
+// The same request over and over: after the first iteration everything is
+// a result-cache hit. EXPERIMENTS.md tracks the hit/cold ratio (>= 10x).
+void BM_EngineQueryCached(benchmark::State& state) {
+  service::QueryEngine& engine = BenchEngine();
+  const Vertex vertex = BenchQueryVertices().front();
+  for (auto _ : state) {
+    auto response = engine.Query(service::QueryRequest::ForVertex(vertex));
+    benchmark::DoNotOptimize(response->from_cache);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineQueryCached);
+
+// Batched submission over the engine pool vs the hand-rolled serial loop
+// below: the acceptance bar is parity or better wall-clock per batch.
+void BM_EngineBatchSubmit(benchmark::State& state) {
+  service::QueryEngine& engine = BenchEngine();
+  const std::vector<Vertex>& queries = BenchQueryVertices();
+  std::vector<service::QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (Vertex v : queries) {
+    requests.push_back(
+        service::QueryRequest::ForVertex(v).WithBypassCache());
+  }
+  for (auto _ : state) {
+    const auto responses = engine.SubmitBatch(requests);
+    benchmark::DoNotOptimize(responses.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_EngineBatchSubmit);
+
+// The pre-engine idiom: one thread, one workspace, loop over the batch.
+void BM_QueryAllLoop(benchmark::State& state) {
+  const TopKSearcher& searcher = BenchSearcher();
+  const std::vector<Vertex>& queries = BenchQueryVertices();
+  QueryWorkspace workspace(searcher);
+  for (auto _ : state) {
+    size_t results = 0;
+    for (Vertex v : queries) {
+      results += searcher.Query(v, workspace).top.size();
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_QueryAllLoop);
 
 // --- main: google-benchmark + common bench flags + optional JSON -----------
 

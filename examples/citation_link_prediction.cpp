@@ -4,6 +4,10 @@
 // the citing paper. Reproduces the classic use of vertex similarity for
 // link prediction (Liben-Nowell & Kleinberg) on top of this library.
 //
+// Candidate citations are ranked with the engine's group request: papers
+// similar to the set of papers the query paper already cites, with the
+// group members excluded from the ranking.
+//
 //   $ ./examples/citation_link_prediction [num_papers]
 
 #include <algorithm>
@@ -51,17 +55,20 @@ int main(int argc, char** argv) {
     }
     const DirectedGraph graph = builder.Build();
 
-    // Rank candidate citations with the group-query API: papers similar to
-    // the set of papers `paper` already cites, members excluded.
-    SearchOptions options;
-    options.k = 100;  // group ranking needs a wide per-member candidate pool
-    options.threshold = 0.005;
-    options.seed = 1000 + trial;
-    TopKSearcher searcher(graph, options);
-    searcher.BuildIndex();
+    service::EngineOptions options;
+    options.search.k = 100;  // group ranking needs a wide per-member pool
+    options.search.threshold = 0.005;
+    options.search.seed = 1000 + trial;
+    options.enable_cache = false;  // every trial's graph is different
+    auto engine = service::QueryEngine::Create(graph, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 1;
+    }
     const auto cited_now = graph.OutNeighbors(paper);
-    std::vector<Vertex> group(cited_now.begin(), cited_now.end());
-    std::vector<ScoredVertex> ranking = searcher.QueryGroup(group).top;
+    auto response = (*engine)->Query(service::QueryRequest::ForGroup(
+        {cited_now.begin(), cited_now.end()}));
+    std::vector<ScoredVertex> ranking = std::move(response->top);
     // The queried paper itself is not a group member; drop it manually.
     std::erase_if(ranking,
                   [&](const ScoredVertex& e) { return e.vertex == paper; });

@@ -4,6 +4,10 @@
 // the same collaboration neighbourhoods, natural candidates for
 // recommendation or reviewer assignment.
 //
+// Served through the query engine, which also demonstrates the result
+// cache: a recommendation page is typically reloaded many times, and the
+// repeat request comes back from the cache in microseconds.
+//
 //   $ ./examples/coauthor_recommendation [num_authors]
 
 #include <cstdio>
@@ -34,14 +38,17 @@ int main(int argc, char** argv) {
   std::printf("co-authorship network: %s\n",
               ToString(ComputeGraphStats(graph)).c_str());
 
-  SearchOptions options;
-  options.k = 10;
-  options.threshold = 0.01;
-  TopKSearcher searcher(graph, options);
+  service::EngineOptions options;
+  options.search.k = 10;
+  options.search.threshold = 0.01;
   WallTimer preprocess;
-  searcher.BuildIndex();
-  std::printf("preprocess %.2f s (index %s)\n", preprocess.ElapsedSeconds(),
-              FormatBytes(searcher.PreprocessBytes()).c_str());
+  auto engine = service::QueryEngine::Create(graph, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("engine up in %.2f s (index %s)\n", preprocess.ElapsedSeconds(),
+              FormatBytes((*engine)->searcher().PreprocessBytes()).c_str());
 
   // Recommend for a mid-degree author (hubs are trivially popular; the
   // interesting recommendations are for ordinary researchers).
@@ -56,13 +63,13 @@ int main(int argc, char** argv) {
   std::printf("\nrecommendations for author %u (degree %u):\n", author,
               graph.InDegree(author));
 
-  const QueryResult result = searcher.Query(author);
+  auto response = (*engine)->Query(service::QueryRequest::ForVertex(author));
   BfsWorkspace bfs(graph);
   bfs.Run(author, EdgeDirection::kUndirected, 6);
   TablePrinter table(
       {"rank", "author", "simrank", "distance", "already co-authors?"});
   int rank = 1;
-  for (const ScoredVertex& entry : result.top) {
+  for (const ScoredVertex& entry : response->top) {
     table.AddRow({std::to_string(rank++), std::to_string(entry.vertex),
                   FormatDouble(entry.score),
                   std::to_string(bfs.Distance(entry.vertex)),
@@ -72,9 +79,15 @@ int main(int argc, char** argv) {
   std::printf(
       "\nnote: 'no' rows at distance 2 are the interesting ones — similar "
       "researchers\nwho never collaborated (link-prediction candidates).\n");
-  std::printf("query took %.2f ms over %llu candidates\n",
-              result.stats.seconds * 1e3,
+  std::printf("cold query took %.2f ms over %llu candidates\n",
+              response->engine_seconds * 1e3,
               static_cast<unsigned long long>(
-                  result.stats.candidates_enumerated));
+                  response->stats.candidates_enumerated));
+
+  // The same request again: served from the engine's result cache.
+  auto repeat = (*engine)->Query(service::QueryRequest::ForVertex(author));
+  std::printf("repeat query took %.3f ms (from_cache=%s)\n",
+              repeat->engine_seconds * 1e3,
+              repeat->from_cache ? "true" : "false");
   return 0;
 }

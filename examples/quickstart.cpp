@@ -1,77 +1,47 @@
-// Quickstart: build a small graph, run the preprocess, and answer a top-k
-// SimRank similarity query.
+// Quickstart: build a small graph, stand up the query engine, and answer a
+// top-k SimRank similarity query.
 //
 //   $ ./examples/quickstart
 //
-// The graph is the toy citation network from the SimRank literature: two
-// "professors" cited by their students. SimRank discovers that the two
-// professors are similar because similar people cite them.
+// The toy citation network from the SimRank literature: two "professors"
+// (0, 1) cited by their students (2..5, themselves cited by 6). SimRank
+// discovers the professors are similar because similar people cite them.
 
 #include <cstdio>
 
 #include "graph/builder.h"
 #include "simrank/simrank.h"
-#include "util/table.h"
 
 int main() {
   using namespace simrank;
 
-  // A toy bibliography: vertices 0,1 are senior papers; 2..5 are follow-ups
-  // citing them; 6 cites the follow-ups.
   GraphBuilder builder;
-  builder.AddEdge(2, 0);
-  builder.AddEdge(3, 0);
-  builder.AddEdge(3, 1);
-  builder.AddEdge(4, 1);
-  builder.AddEdge(5, 0);
-  builder.AddEdge(5, 1);
-  builder.AddEdge(6, 2);
-  builder.AddEdge(6, 3);
-  builder.AddEdge(6, 4);
-  builder.AddEdge(6, 5);
+  for (auto [from, to] : {std::pair<Vertex, Vertex>{2, 0},
+                          {3, 0}, {3, 1}, {4, 1}, {5, 0}, {5, 1},
+                          {6, 2}, {6, 3}, {6, 4}, {6, 5}}) {
+    builder.AddEdge(from, to);
+  }
   const DirectedGraph graph = builder.Build();
-  std::printf("graph: %u vertices, %llu edges\n", graph.NumVertices(),
-              static_cast<unsigned long long>(graph.NumEdges()));
 
-  // Configure the searcher. Defaults follow the paper (c = 0.6, T = 11,
-  // k = 20, theta = 0.01); we lower k for this tiny graph and ask for the
-  // exact diagonal correction since the graph is small.
-  SearchOptions options;
-  options.k = 5;
-  options.threshold = 0.001;
-  options.estimate_diagonal = true;
-
-  TopKSearcher searcher(graph, options);
-  searcher.BuildIndex();  // O(n) preprocess: gamma table + candidate index
-  std::printf("preprocess: %.2f ms, %llu bytes of index\n",
-              searcher.preprocess_seconds() * 1e3,
-              static_cast<unsigned long long>(searcher.PreprocessBytes()));
+  service::EngineOptions options;  // paper defaults: c=0.6, T=11
+  options.search.k = 5;
+  options.search.threshold = 0.001;
+  options.search.estimate_diagonal = true;
+  auto engine = service::QueryEngine::Create(graph, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
 
   // Who is similar to paper 0?
-  const QueryResult result = searcher.Query(0);
-  TablePrinter table({"rank", "vertex", "simrank"});
-  int rank = 1;
-  for (const ScoredVertex& entry : result.top) {
-    table.AddRow({std::to_string(rank++), std::to_string(entry.vertex),
-                  FormatDouble(entry.score)});
+  auto response = (*engine)->Query(service::QueryRequest::ForVertex(0));
+  std::printf("top similar vertices to 0:\n");
+  for (const ScoredVertex& entry : response->top) {
+    std::printf("  vertex %u  simrank %.4f\n", entry.vertex, entry.score);
   }
-  std::printf("\ntop similar vertices to 0:\n");
-  table.Print();
-  std::printf(
-      "\nquery stats: %llu candidates, %llu pruned by bounds, %llu refined, "
-      "%.2f ms\n",
-      static_cast<unsigned long long>(result.stats.candidates_enumerated),
-      static_cast<unsigned long long>(result.stats.pruned_by_distance +
-                                      result.stats.pruned_by_l1 +
-                                      result.stats.pruned_by_l2),
-      static_cast<unsigned long long>(result.stats.refined),
-      result.stats.seconds * 1e3);
-
-  // Cross-check against the exact all-pairs baseline (viable here because
-  // the graph is tiny).
-  SimRankParams params;  // c = 0.6, T = 11
-  const DenseMatrix exact = ComputeSimRankNaive(graph, params);
-  std::printf("\nexact SimRank for comparison: s(0,1) = %s\n",
-              FormatDouble(exact.At(0, 1)).c_str());
+  std::printf("query took %.2f ms, %llu candidates considered\n",
+              response->engine_seconds * 1e3,
+              static_cast<unsigned long long>(
+                  response->stats.candidates_enumerated));
   return 0;
 }

@@ -1,0 +1,380 @@
+#include "service/query_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "service/result_cache.h"
+#include "util/timer.h"
+#include "util/top_k.h"
+
+namespace simrank::service {
+
+namespace {
+
+// Registry-backed serving metrics, resolved once (same pattern as the
+// query.* metrics in top_k_searcher.cc and the cache metrics next door).
+struct ServiceMetrics {
+  obs::Counter& requests;
+  obs::Counter& rejected;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& degraded;
+  obs::Histogram& latency_ns;
+
+  ServiceMetrics()
+      : requests(Registry().GetCounter("service.requests")),
+        rejected(Registry().GetCounter("service.rejected")),
+        deadline_exceeded(Registry().GetCounter("service.deadline_exceeded")),
+        degraded(Registry().GetCounter("service.degraded")),
+        latency_ns(Registry().GetHistogram("service.latency_ns")) {}
+
+  static obs::MetricsRegistry& Registry() {
+    return obs::MetricsRegistry::Default();
+  }
+};
+
+ServiceMetrics& GetServiceMetrics() {
+  static ServiceMetrics* metrics = new ServiceMetrics();
+  return *metrics;
+}
+
+size_t ResolveThreads(uint32_t num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool DeadlinePassed(const std::optional<EngineClock::time_point>& deadline) {
+  return deadline.has_value() && EngineClock::now() >= *deadline;
+}
+
+}  // namespace
+
+/// Serving-layer scratch: the kernel workspace plus the group-vote
+/// accumulator the engine's own group loop needs (the engine re-implements
+/// the group aggregation so it can check the deadline between members).
+struct QueryEngine::Workspace {
+  explicit Workspace(const TopKSearcher& searcher) : query(searcher) {}
+
+  QueryWorkspace query;
+  /// Dense per-vertex score accumulator, kept zeroed between uses.
+  std::vector<double> votes;
+  std::vector<Vertex> touched;
+};
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    const DirectedGraph& graph, EngineOptions options) {
+  SIMRANK_RETURN_IF_ERROR(options.search.Validate());
+  if (options.enable_cache && options.cache_capacity > 0 &&
+      options.cache_shards < 1) {
+    return Status::InvalidArgument(
+        "EngineOptions::cache_shards must be >= 1 when the cache is enabled");
+  }
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<QueryEngine> engine(
+      new QueryEngine(graph, std::move(options)));
+  return Finish(std::move(engine));
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Adopt(
+    TopKSearcher searcher, EngineOptions options) {
+  options.search = searcher.options();
+  SIMRANK_RETURN_IF_ERROR(options.search.Validate());
+  if (options.enable_cache && options.cache_capacity > 0 &&
+      options.cache_shards < 1) {
+    return Status::InvalidArgument(
+        "EngineOptions::cache_shards must be >= 1 when the cache is enabled");
+  }
+  std::unique_ptr<QueryEngine> engine(
+      new QueryEngine(std::move(searcher), std::move(options)));
+  return Finish(std::move(engine));
+}
+
+QueryEngine::QueryEngine(const DirectedGraph& graph, EngineOptions options)
+    : options_(std::move(options)),
+      searcher_(graph, options_.search),
+      pool_(ResolveThreads(options_.num_threads)) {}
+
+QueryEngine::QueryEngine(TopKSearcher searcher, EngineOptions options)
+    : options_(std::move(options)),
+      searcher_(std::move(searcher)),
+      pool_(ResolveThreads(options_.num_threads)) {}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Finish(
+    std::unique_ptr<QueryEngine> engine) {
+  if (engine->options_.enable_cache && engine->options_.cache_capacity > 0) {
+    engine->cache_ = std::make_unique<ResultCache>(
+        engine->options_.cache_capacity, engine->options_.cache_shards);
+  }
+  // Enough pooled workspaces for every worker plus a couple of synchronous
+  // callers; beyond that, bursts allocate and drop.
+  engine->max_pooled_workspaces_ = engine->pool_.num_threads() * 2 + 2;
+  if (!engine->searcher_.index_built()) {
+    engine->searcher_.BuildIndex(&engine->pool_);
+  }
+  return engine;
+}
+
+QueryEngine::~QueryEngine() = default;
+
+Status QueryEngine::ValidateRequest(const QueryRequest& request) const {
+  if (request.vertices.empty()) {
+    return Status::InvalidArgument("QueryRequest has no query vertices");
+  }
+  const Vertex n = searcher_.graph().NumVertices();
+  for (Vertex v : request.vertices) {
+    if (v >= n) {
+      return Status::NotFound("query vertex " + std::to_string(v) +
+                              " is not in the graph (it has " +
+                              std::to_string(n) + " vertices)");
+    }
+  }
+  if (request.k.has_value() && *request.k < 1) {
+    return Status::InvalidArgument("QueryRequest::k override must be >= 1");
+  }
+  // !(x >= 0) also rejects NaN.
+  if (request.threshold.has_value() && !(*request.threshold >= 0.0)) {
+    return Status::InvalidArgument(
+        "QueryRequest::threshold override must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<QueryResponse> QueryEngine::Query(const QueryRequest& request) {
+  const Status status = ValidateRequest(request);
+  if (!status.ok()) {
+    GetServiceMetrics().rejected.Add(1);
+    return status;
+  }
+  return Execute(request, /*queue_seconds=*/0.0);
+}
+
+Result<std::future<Result<QueryResponse>>> QueryEngine::Submit(
+    QueryRequest request) {
+  const Status status = ValidateRequest(request);
+  if (!status.ok()) {
+    GetServiceMetrics().rejected.Add(1);
+    return status;
+  }
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
+  const EngineClock::time_point enqueued = EngineClock::now();
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  pool_.Submit([this, promise, request = std::move(request), enqueued] {
+    // Depth is "submitted but not yet started": drop out before the
+    // load-shed check so a request never sheds on account of itself.
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    const double queue_seconds =
+        std::chrono::duration<double>(EngineClock::now() - enqueued).count();
+    try {
+      promise->set_value(Execute(request, queue_seconds));
+    } catch (...) {
+      promise->set_value(
+          Status::Internal("query task failed with an exception"));
+    }
+  });
+  return future;
+}
+
+std::vector<Result<QueryResponse>> QueryEngine::SubmitBatch(
+    std::span<const QueryRequest> requests) {
+  // Enqueue everything first so the whole batch is in flight, then collect
+  // in request order.
+  std::vector<Result<std::future<Result<QueryResponse>>>> submitted;
+  submitted.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    submitted.push_back(Submit(request));
+  }
+  std::vector<Result<QueryResponse>> responses;
+  responses.reserve(requests.size());
+  for (Result<std::future<Result<QueryResponse>>>& handle : submitted) {
+    if (!handle.ok()) {
+      responses.push_back(handle.status());
+    } else {
+      responses.push_back(handle.value().get());
+    }
+  }
+  return responses;
+}
+
+std::vector<std::vector<ScoredVertex>> QueryEngine::QueryAll() {
+  const Vertex n = searcher_.graph().NumVertices();
+  std::vector<std::vector<ScoredVertex>> rankings(n);
+  // Per-query RNG streams are order-independent, so chunked parallel
+  // execution is bit-identical to the serial loop. ParallelFor (rather
+  // than raw Submit/Wait) keeps completion tracking per call, so QueryAll
+  // can run while Submit traffic shares the pool.
+  ParallelFor(&pool_, 0, n, [&](size_t u) {
+    std::unique_ptr<Workspace> workspace = AcquireWorkspace();
+    rankings[u] = searcher_.Query(static_cast<Vertex>(u), workspace->query).top;
+    ReleaseWorkspace(std::move(workspace));
+  });
+  return rankings;
+}
+
+Result<AllPairsShard> QueryEngine::RunAllPairs(const AllPairsOptions& options) {
+  if (options.num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  if (options.partition >= options.num_partitions) {
+    return Status::InvalidArgument(
+        "partition " + std::to_string(options.partition) +
+        " out of range for " + std::to_string(options.num_partitions) +
+        " partitions");
+  }
+  AllPairsOptions engine_options = options;
+  engine_options.pool = &pool_;
+  return simrank::RunAllPairs(searcher_, engine_options);
+}
+
+void QueryEngine::InvalidateCache() {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+size_t QueryEngine::CacheSize() const {
+  return cache_ != nullptr ? cache_->size() : 0;
+}
+
+std::unique_ptr<QueryEngine::Workspace> QueryEngine::AcquireWorkspace() {
+  {
+    std::lock_guard<std::mutex> lock(workspace_mutex_);
+    if (!workspace_freelist_.empty()) {
+      std::unique_ptr<Workspace> workspace =
+          std::move(workspace_freelist_.back());
+      workspace_freelist_.pop_back();
+      return workspace;
+    }
+  }
+  return std::make_unique<Workspace>(searcher_);
+}
+
+void QueryEngine::ReleaseWorkspace(std::unique_ptr<Workspace> workspace) {
+  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  if (workspace_freelist_.size() < max_pooled_workspaces_) {
+    workspace_freelist_.push_back(std::move(workspace));
+  }
+}
+
+Result<QueryResponse> QueryEngine::Execute(const QueryRequest& request,
+                                           double queue_seconds) {
+  ServiceMetrics& metrics = GetServiceMetrics();
+  metrics.requests.Add(1);
+  WallTimer timer;
+  QueryResponse response;
+  response.queue_seconds = queue_seconds;
+
+  // Effective runtime options: per-request overrides over engine defaults.
+  const uint32_t k = request.k.value_or(options_.search.k);
+  const double threshold =
+      request.threshold.value_or(options_.search.threshold);
+
+  // Stage 1: result cache. Keyed on the *effective* options, so a request
+  // with a different k or threshold never reuses a stale ranking.
+  CacheKey key;
+  const bool use_cache = cache_ != nullptr && !request.bypass_cache;
+  if (use_cache) {
+    key.vertices = request.vertices;
+    key.group = request.is_group();
+    key.k = k;
+    key.threshold_bits = std::bit_cast<uint64_t>(threshold);
+    CacheEntry entry;
+    if (cache_->Lookup(key, &entry)) {
+      response.top = std::move(entry.top);
+      response.stats = entry.stats;
+      response.from_cache = true;
+      response.engine_seconds = timer.ElapsedSeconds();
+      metrics.latency_ns.RecordSeconds(response.engine_seconds);
+      return response;
+    }
+  }
+
+  // Stage 2: deadline admission. A request whose budget was eaten by queue
+  // wait is answered without running anything.
+  if (DeadlinePassed(request.deadline)) {
+    response.status = Status::DeadlineExceeded(
+        "deadline expired before query execution started");
+    response.engine_seconds = timer.ElapsedSeconds();
+    metrics.deadline_exceeded.Add(1);
+    metrics.latency_ns.RecordSeconds(response.engine_seconds);
+    return response;
+  }
+
+  // Stage 3: load shedding. Under a backlog, drop the refine pass to the
+  // rough sample count — reported via `degraded`, never silent, and the
+  // result is never cached.
+  QueryOverrides overrides{.k = request.k,
+                           .threshold = request.threshold,
+                           .refine_walks = std::nullopt};
+  if (options_.load_shed_watermark > 0 &&
+      queued_.load(std::memory_order_relaxed) > options_.load_shed_watermark &&
+      options_.search.refine_walks > options_.search.estimate_walks) {
+    overrides.refine_walks = options_.search.estimate_walks;
+    response.degraded = true;
+    metrics.degraded.Add(1);
+  }
+
+  // Stage 4: run the kernel.
+  std::unique_ptr<Workspace> workspace = AcquireWorkspace();
+  if (request.is_group()) {
+    RunGroup(request, *workspace, overrides, k, response);
+  } else {
+    QueryResult result =
+        searcher_.Query(request.vertices.front(), workspace->query, overrides);
+    response.top = std::move(result.top);
+    response.stats = result.stats;
+  }
+  ReleaseWorkspace(std::move(workspace));
+
+  response.engine_seconds = timer.ElapsedSeconds();
+  if (!response.status.ok()) {
+    metrics.deadline_exceeded.Add(1);
+  } else if (use_cache && !response.degraded) {
+    cache_->Insert(key, CacheEntry{response.top, response.stats});
+  }
+  metrics.latency_ns.RecordSeconds(response.engine_seconds);
+  return response;
+}
+
+void QueryEngine::RunGroup(const QueryRequest& request, Workspace& workspace,
+                           const QueryOverrides& overrides,
+                           uint32_t effective_k, QueryResponse& response) {
+  // Mirrors TopKSearcher::QueryGroup step for step (same member order,
+  // vote accumulation and collector order, so results are bit-identical),
+  // with a deadline check between members: on expiry the loop stops and
+  // the ranking/stats of the members already run are returned as the
+  // partial answer.
+  std::vector<double>& votes = workspace.votes;
+  votes.resize(searcher_.graph().NumVertices(), 0.0);
+  std::vector<Vertex>& touched = workspace.touched;
+  touched.clear();
+  size_t completed = 0;
+  for (Vertex member : request.vertices) {
+    if (DeadlinePassed(request.deadline)) {
+      response.status = Status::DeadlineExceeded(
+          "deadline expired after " + std::to_string(completed) + " of " +
+          std::to_string(request.vertices.size()) + " group members");
+      break;
+    }
+    const QueryResult member_result =
+        searcher_.Query(member, workspace.query, overrides);
+    response.stats += member_result.stats;
+    for (const ScoredVertex& entry : member_result.top) {
+      if (votes[entry.vertex] == 0.0) touched.push_back(entry.vertex);
+      votes[entry.vertex] += entry.score;
+    }
+    ++completed;
+  }
+  // Group members never recommend themselves.
+  for (Vertex member : request.vertices) votes[member] = 0.0;
+  TopKCollector collector(effective_k);
+  for (Vertex v : touched) {
+    if (votes[v] > 0.0) collector.Push(v, votes[v]);
+  }
+  for (Vertex v : touched) votes[v] = 0.0;  // leave the workspace clean
+  response.top = collector.TakeSorted();
+}
+
+}  // namespace simrank::service

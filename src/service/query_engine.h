@@ -1,0 +1,257 @@
+#ifndef SIMRANK_SERVICE_QUERY_ENGINE_H_
+#define SIMRANK_SERVICE_QUERY_ENGINE_H_
+
+// Concurrent query-serving engine: the request/response surface a service
+// is built on, layered over the single-query TopKSearcher kernel.
+//
+// The engine owns the preprocessed searcher, a thread pool, a pool of
+// reusable per-thread workspaces, and a sharded LRU result cache. Clients
+// describe work as QueryRequest values (vertex or group, per-request
+// k/threshold overrides, optional deadline) and get back
+// util::Result<QueryResponse>:
+//
+//   - A *rejected* request (unknown vertex, k == 0, NaN threshold) is a
+//     non-OK Result: nothing ran.
+//   - An *accepted* request always yields a QueryResponse whose own
+//     `status` reports the execution outcome: OK, or DeadlineExceeded
+//     with whatever partial ranking/stats were computed before the
+//     deadline fired. Degradation under load is likewise reported in the
+//     response (`degraded`), never applied silently.
+//
+// Construction validates options up front (SearchOptions::Validate) and
+// returns Result instead of aborting; no public entry point of the engine
+// CHECK-fails on user input.
+//
+// Thread-safety: every public method may be called concurrently from any
+// number of threads. QueryAll/RunAllPairs must not be called from inside
+// one of the engine's own pool tasks (they block on the pool).
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "simrank/all_pairs.h"
+#include "simrank/top_k_searcher.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace simrank::service {
+
+class ResultCache;
+
+/// Serving-layer clock. Deadlines are absolute points on the steady clock
+/// so they survive queueing: a request enqueued with 5 ms of budget that
+/// waits 4 ms in the queue has 1 ms left when it runs.
+using EngineClock = std::chrono::steady_clock;
+
+/// One query, described declaratively. Build with the factories and
+/// chainable setters:
+///
+///   auto req = QueryRequest::ForVertex(12).WithK(10).WithTimeout(0.005);
+///   auto rec = QueryRequest::ForGroup({3, 14, 15}).WithThreshold(0.05);
+struct QueryRequest {
+  /// Query vertices: exactly one for a vertex query, two or more for a
+  /// group ("items similar to this set") query. Empty is rejected.
+  std::vector<Vertex> vertices;
+
+  /// Per-request overrides of the engine's SearchOptions; unset fields
+  /// inherit the engine defaults. Only runtime knobs are overridable —
+  /// anything baked into the preprocess is fixed at engine creation.
+  std::optional<uint32_t> k;
+  std::optional<double> threshold;
+
+  /// Absolute deadline. The engine checks it between pipeline stages
+  /// (admission, each group member) and answers DeadlineExceeded with
+  /// partial stats instead of running to completion.
+  std::optional<EngineClock::time_point> deadline;
+
+  /// Skips both cache lookup and cache insertion for this request.
+  bool bypass_cache = false;
+
+  static QueryRequest ForVertex(Vertex v) {
+    QueryRequest request;
+    request.vertices.push_back(v);
+    return request;
+  }
+  static QueryRequest ForGroup(std::vector<Vertex> group) {
+    QueryRequest request;
+    request.vertices = std::move(group);
+    return request;
+  }
+
+  QueryRequest&& WithK(uint32_t top_k) && {
+    k = top_k;
+    return std::move(*this);
+  }
+  QueryRequest&& WithThreshold(double theta) && {
+    threshold = theta;
+    return std::move(*this);
+  }
+  /// Deadline `seconds` from now.
+  QueryRequest&& WithTimeout(double seconds) && {
+    deadline = EngineClock::now() +
+               std::chrono::duration_cast<EngineClock::duration>(
+                   std::chrono::duration<double>(seconds));
+    return std::move(*this);
+  }
+  QueryRequest&& WithBypassCache() && {
+    bypass_cache = true;
+    return std::move(*this);
+  }
+
+  bool is_group() const { return vertices.size() > 1; }
+};
+
+/// Outcome of one accepted request.
+struct QueryResponse {
+  /// Execution outcome: OK, or DeadlineExceeded (in which case `top` and
+  /// `stats` hold whatever was computed before the deadline fired).
+  Status status;
+  /// Best-first ranking (at most k entries, scores >= threshold).
+  std::vector<ScoredVertex> top;
+  /// Per-query instrumentation; for cache hits, the stats of the query
+  /// that originally computed the entry.
+  QueryStats stats;
+  /// True when the ranking was served from the result cache.
+  bool from_cache = false;
+  /// True when load shedding degraded this query (refine pass dropped to
+  /// the rough sample count). Degraded results are never cached.
+  bool degraded = false;
+  /// Time spent queued before a worker picked the request up (Submit /
+  /// SubmitBatch paths; 0 for synchronous Query calls).
+  double queue_seconds = 0.0;
+  /// End-to-end engine time for this request, excluding queue wait.
+  double engine_seconds = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Engine configuration: the search options plus the serving knobs.
+struct EngineOptions {
+  SearchOptions search;
+
+  /// Worker threads for Submit/SubmitBatch/QueryAll; 0 means
+  /// hardware_concurrency.
+  uint32_t num_threads = 0;
+
+  /// Result cache; capacity 0 (or enable_cache = false) disables it.
+  bool enable_cache = true;
+  size_t cache_capacity = 4096;
+  uint32_t cache_shards = 8;
+
+  /// Load shedding: when more than this many submitted requests are
+  /// waiting for a worker, queries run with refine_walks dropped to
+  /// estimate_walks (the rough pass) and report degraded = true.
+  /// 0 disables shedding.
+  size_t load_shed_watermark = 0;
+};
+
+class QueryEngine {
+ public:
+  /// Validates `options` (Result, not CHECK), builds the searcher and its
+  /// index on the engine's pool, and returns a ready-to-serve engine.
+  /// The graph must outlive the engine.
+  static Result<std::unique_ptr<QueryEngine>> Create(
+      const DirectedGraph& graph, EngineOptions options);
+
+  /// Wraps an existing searcher (e.g. one restored by
+  /// LoadSearcherIndex) instead of building a new one; options.search is
+  /// replaced by the searcher's own options, which are still validated.
+  /// Builds the index if the searcher has not been preprocessed yet.
+  static Result<std::unique_ptr<QueryEngine>> Adopt(TopKSearcher searcher,
+                                                    EngineOptions options);
+
+  /// Blocks until every in-flight submitted request has drained.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Synchronous execution on the calling thread. Non-OK Result means the
+  /// request was rejected and nothing ran.
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Asynchronous execution on the engine's pool. Request validation
+  /// happens before enqueueing, so a returned future always resolves to
+  /// an execution outcome, never a validation error.
+  Result<std::future<Result<QueryResponse>>> Submit(QueryRequest request);
+
+  /// Submits every request, waits for all of them, and returns responses
+  /// in request order. Workspaces are reused across the batch through the
+  /// engine's pool instead of being allocated per query.
+  std::vector<Result<QueryResponse>> SubmitBatch(
+      std::span<const QueryRequest> requests);
+
+  /// Top-k for every vertex (the paper's all-pairs mode), batched over
+  /// the engine's pool with pooled workspaces. rankings[v] is vertex v's
+  /// ranking. Bypasses the result cache.
+  std::vector<std::vector<ScoredVertex>> QueryAll();
+
+  /// Partitioned all-pairs (the M-machines deployment of §2.2) through
+  /// the engine. `options.pool` is ignored — the engine's own pool runs
+  /// the shard. Returns InvalidArgument for a bad partition spec.
+  Result<AllPairsShard> RunAllPairs(const AllPairsOptions& options);
+
+  /// Drops every cached result (call after mutating external state the
+  /// rankings were derived from).
+  void InvalidateCache();
+  /// Entries currently cached (0 when the cache is disabled).
+  size_t CacheSize() const;
+
+  /// Submitted requests currently waiting for a worker.
+  size_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  /// Worker threads actually running (options.num_threads resolved).
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  const TopKSearcher& searcher() const { return searcher_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Workspace;
+  class WorkspaceLease;
+
+  QueryEngine(const DirectedGraph& graph, EngineOptions options);
+  QueryEngine(TopKSearcher searcher, EngineOptions options);
+
+  static Result<std::unique_ptr<QueryEngine>> Finish(
+      std::unique_ptr<QueryEngine> engine);
+
+  Status ValidateRequest(const QueryRequest& request) const;
+  Result<QueryResponse> Execute(const QueryRequest& request,
+                                double queue_seconds);
+  void RunGroup(const QueryRequest& request, Workspace& workspace,
+                const QueryOverrides& overrides, uint32_t effective_k,
+                QueryResponse& response);
+
+  std::unique_ptr<Workspace> AcquireWorkspace();
+  void ReleaseWorkspace(std::unique_ptr<Workspace> workspace);
+
+  EngineOptions options_;
+  TopKSearcher searcher_;
+  std::unique_ptr<ResultCache> cache_;  // null when disabled
+
+  std::atomic<size_t> queued_{0};
+
+  std::mutex workspace_mutex_;
+  std::vector<std::unique_ptr<Workspace>> workspace_freelist_;
+  size_t max_pooled_workspaces_;
+
+  /// Declared last: destroyed first, so the pool drains all tasks while
+  /// the members they touch are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace simrank::service
+
+#endif  // SIMRANK_SERVICE_QUERY_ENGINE_H_

@@ -7,7 +7,18 @@
 ///
 /// Typical use:
 ///
+/// Typical use — the serving engine (validated construction, concurrent
+/// queries, result cache, deadlines):
+///
 ///   simrank::DirectedGraph graph = ...;        // graph/ substrates
+///   simrank::service::EngineOptions options;   // search + serving knobs
+///   auto engine = simrank::service::QueryEngine::Create(graph, options);
+///   if (!engine.ok()) { /* bad options: engine.status() says which */ }
+///   auto response =
+///       (*engine)->Query(simrank::service::QueryRequest::ForVertex(u));
+///
+/// Or the bare kernel, for single-threaded embedding:
+///
 ///   simrank::SearchOptions options;            // c=0.6, T=11, k=20, ...
 ///   simrank::TopKSearcher searcher(graph, options);
 ///   searcher.BuildIndex();                     // O(n) preprocess
@@ -30,6 +41,8 @@
 #include "simrank/params.h"          // IWYU pragma: export
 #include "simrank/partial_sums.h"    // IWYU pragma: export
 #include "simrank/serialization.h"   // IWYU pragma: export
+#include "service/query_engine.h"    // IWYU pragma: export
+#include "service/result_cache.h"    // IWYU pragma: export
 #include "simrank/surfer_pair.h"     // IWYU pragma: export
 #include "simrank/top_k_searcher.h"  // IWYU pragma: export
 #include "simrank/yu_all_pairs.h"    // IWYU pragma: export

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -57,6 +61,45 @@ QueryMetrics& GetQueryMetrics() {
 QueryWorkspace::QueryWorkspace(const TopKSearcher& searcher)
     : bfs_(searcher.graph()), marks_(searcher.graph().NumVertices(), 0) {}
 
+Status SearchOptions::Validate() const {
+  if (!(simrank.decay > 0.0 && simrank.decay < 1.0)) {
+    return Status::InvalidArgument("decay must be in (0, 1), got " +
+                                   std::to_string(simrank.decay));
+  }
+  if (simrank.num_steps < 1) {
+    return Status::InvalidArgument("num_steps must be >= 1");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (!(threshold >= 0.0)) {  // negation also rejects NaN
+    return Status::InvalidArgument("threshold must be >= 0, got " +
+                                   std::to_string(threshold));
+  }
+  if (estimate_walks < 1) {
+    return Status::InvalidArgument("estimate_walks must be >= 1");
+  }
+  if (refine_walks < 1) {
+    return Status::InvalidArgument("refine_walks must be >= 1");
+  }
+  if (profile_walks < 1) {
+    return Status::InvalidArgument("profile_walks must be >= 1");
+  }
+  if (use_l1_bound && l1_walks < 1) {
+    return Status::InvalidArgument("l1_walks must be >= 1 when the L1 "
+                                   "bound is enabled");
+  }
+  if (use_l2_bound && gamma_walks < 1) {
+    return Status::InvalidArgument("gamma_walks must be >= 1 when the L2 "
+                                   "bound is enabled");
+  }
+  if (adaptive_sampling &&
+      !(adaptive_margin > 0.0 && adaptive_margin <= 1.0)) {
+    return Status::InvalidArgument(
+        "adaptive_margin must be in (0, 1], got " +
+        std::to_string(adaptive_margin));
+  }
+  return Status::OK();
+}
+
 TopKSearcher::TopKSearcher(const DirectedGraph& graph, SearchOptions options)
     : TopKSearcher(graph, options,
                    UniformDiagonal(graph.NumVertices(),
@@ -66,7 +109,10 @@ TopKSearcher::TopKSearcher(const DirectedGraph& graph, SearchOptions options)
 
 TopKSearcher::TopKSearcher(const DirectedGraph& graph, SearchOptions options,
                            std::vector<double> diagonal)
-    : graph_(graph), options_(options), diagonal_(std::move(diagonal)) {
+    : graph_(graph),
+      options_(options),
+      diagonal_(std::move(diagonal)),
+      workspace_pool_(std::make_unique<WorkspacePool>()) {
   options_.simrank.Validate();
   SIMRANK_CHECK_EQ(diagonal_.size(), graph.NumVertices());
   SIMRANK_CHECK_GE(options_.threshold, 0.0);
@@ -156,13 +202,54 @@ uint64_t TopKSearcher::PreprocessBytes() const {
   return bytes;
 }
 
-QueryResult TopKSearcher::Query(Vertex query) const {
-  QueryWorkspace workspace(*this);
-  return Query(query, workspace);
+/// Bound on the convenience-overload freelist: enough for any realistic
+/// number of concurrently borrowing threads, small enough that a burst
+/// cannot pin O(n) scratch arrays forever.
+struct TopKSearcher::WorkspacePool {
+  static constexpr size_t kMaxPooled = 64;
+  std::mutex mutex;
+  std::vector<std::unique_ptr<QueryWorkspace>> free;
+};
+
+TopKSearcher::TopKSearcher(TopKSearcher&&) noexcept = default;
+TopKSearcher::~TopKSearcher() = default;
+
+std::unique_ptr<QueryWorkspace> TopKSearcher::AcquireWorkspace() const {
+  {
+    std::lock_guard<std::mutex> lock(workspace_pool_->mutex);
+    if (!workspace_pool_->free.empty()) {
+      std::unique_ptr<QueryWorkspace> workspace =
+          std::move(workspace_pool_->free.back());
+      workspace_pool_->free.pop_back();
+      return workspace;
+    }
+  }
+  return std::make_unique<QueryWorkspace>(*this);
+}
+
+void TopKSearcher::ReleaseWorkspace(
+    std::unique_ptr<QueryWorkspace> workspace) const {
+  std::lock_guard<std::mutex> lock(workspace_pool_->mutex);
+  if (workspace_pool_->free.size() < WorkspacePool::kMaxPooled) {
+    workspace_pool_->free.push_back(std::move(workspace));
+  }
+}
+
+size_t TopKSearcher::pooled_workspaces() const {
+  std::lock_guard<std::mutex> lock(workspace_pool_->mutex);
+  return workspace_pool_->free.size();
 }
 
 QueryResult TopKSearcher::Query(Vertex query,
-                                QueryWorkspace& workspace) const {
+                                const QueryOverrides& overrides) const {
+  std::unique_ptr<QueryWorkspace> workspace = AcquireWorkspace();
+  QueryResult result = Query(query, *workspace, overrides);
+  ReleaseWorkspace(std::move(workspace));
+  return result;
+}
+
+QueryResult TopKSearcher::Query(Vertex query, QueryWorkspace& workspace,
+                                const QueryOverrides& overrides) const {
   SIMRANK_CHECK_LT(query, graph_.NumVertices());
   SIMRANK_CHECK(!options_.use_l2_bound || gamma_ != nullptr);
   SIMRANK_CHECK(!options_.use_index || index_ != nullptr);
@@ -173,6 +260,12 @@ QueryResult TopKSearcher::Query(Vertex query,
   QueryResult result;
   QueryStats& stats = result.stats;
   const SimRankParams& params = options_.simrank;
+  // Per-query runtime knobs (the preprocess-bound knobs are not
+  // overridable; see QueryOverrides).
+  const uint32_t k = overrides.k.value_or(options_.k);
+  const double threshold = overrides.threshold.value_or(options_.threshold);
+  const uint32_t refine_walks =
+      overrides.refine_walks.value_or(options_.refine_walks);
   // Deterministic per-query stream, independent of query order.
   Rng rng(MixSeeds(options_.seed, 0x9E3779B9ULL + query));
 
@@ -201,10 +294,8 @@ QueryResult TopKSearcher::Query(Vertex query,
     return estimator_->BuildProfile(query, options_.profile_walks, rng);
   }();
 
-  TopKCollector collector(options_.k);
-  auto cutoff = [&]() {
-    return std::max(options_.threshold, collector.Threshold());
-  };
+  TopKCollector collector(k);
+  auto cutoff = [&]() { return std::max(threshold, collector.Threshold()); };
 
   auto consider = [&](Vertex v) {
     if (v == query) return;
@@ -245,9 +336,9 @@ QueryResult TopKSearcher::Query(Vertex query,
     }
     obs::ScopedSpan refine_span("refine");
     ++stats.refined;
-    const double score = estimator_->EstimateAgainstProfile(
-        profile, v, options_.refine_walks, rng);
-    if (score >= options_.threshold) collector.Push(v, score);
+    const double score =
+        estimator_->EstimateAgainstProfile(profile, v, refine_walks, rng);
+    if (score >= threshold) collector.Push(v, score);
   };
 
   {
@@ -279,17 +370,21 @@ QueryResult TopKSearcher::Query(Vertex query,
   metrics.latency_ns.RecordSeconds(stats.seconds);
   metrics.samples.Record(options_.profile_walks +
                          stats.rough_estimates * options_.estimate_walks +
-                         stats.refined * options_.refine_walks);
+                         stats.refined * refine_walks);
   return result;
 }
 
-QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group) const {
-  QueryWorkspace workspace(*this);
-  return QueryGroup(group, workspace);
+QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group,
+                                     const QueryOverrides& overrides) const {
+  std::unique_ptr<QueryWorkspace> workspace = AcquireWorkspace();
+  QueryResult result = QueryGroup(group, *workspace, overrides);
+  ReleaseWorkspace(std::move(workspace));
+  return result;
 }
 
 QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group,
-                                     QueryWorkspace& workspace) const {
+                                     QueryWorkspace& workspace,
+                                     const QueryOverrides& overrides) const {
   obs::ScopedSpan group_span("query_group");
   WallTimer timer;
   QueryResult result;
@@ -298,7 +393,7 @@ QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group,
   votes.resize(graph_.NumVertices(), 0.0);
   std::vector<Vertex> touched;
   for (Vertex member : group) {
-    const QueryResult member_result = Query(member, workspace);
+    const QueryResult member_result = Query(member, workspace, overrides);
     result.stats += member_result.stats;
     for (const ScoredVertex& entry : member_result.top) {
       if (votes[entry.vertex] == 0.0) touched.push_back(entry.vertex);
@@ -307,7 +402,7 @@ QueryResult TopKSearcher::QueryGroup(std::span<const Vertex> group,
   }
   // Group members never recommend themselves.
   for (Vertex member : group) votes[member] = 0.0;
-  TopKCollector collector(options_.k);
+  TopKCollector collector(overrides.k.value_or(options_.k));
   for (Vertex v : touched) {
     if (votes[v] > 0.0) collector.Push(v, votes[v]);
   }

@@ -14,6 +14,7 @@
 #include "simrank/monte_carlo.h"
 #include "simrank/params.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/top_k.h"
 
@@ -81,6 +82,26 @@ struct SearchOptions {
   /// Master seed; every random stream (index, gamma, per-query walks) is
   /// derived from it deterministically.
   uint64_t seed = 42;
+
+  /// Range-checks every user-tunable field (decay, steps, k, threshold,
+  /// walk counts, adaptive_margin) and returns InvalidArgument naming the
+  /// offending field instead of aborting. This is the entry-point
+  /// validation used by service::QueryEngine::Create; the TopKSearcher
+  /// constructor keeps SIMRANK_CHECK only as a last-resort internal
+  /// invariant for callers that bypass the engine.
+  Status Validate() const;
+};
+
+/// Per-query runtime knobs, applied on top of the searcher's SearchOptions
+/// for one Query/QueryGroup call. Only knobs that do not participate in the
+/// preprocess (gamma table, candidate index) are overridable; everything
+/// else is fixed at construction. The serving layer uses this for
+/// per-request k/threshold and for load-shed degradation (refine_walks
+/// dropped to the rough pass).
+struct QueryOverrides {
+  std::optional<uint32_t> k;
+  std::optional<double> threshold;
+  std::optional<uint32_t> refine_walks;
 };
 
 /// Per-query instrumentation, reported alongside the ranking. This is a
@@ -123,8 +144,11 @@ struct QueryResult {
 
 class TopKSearcher;
 
-/// Reusable per-thread scratch (BFS arrays, dedup marks). Constructing one
-/// per query works but costs O(n) allocations; query loops should reuse.
+/// Reusable per-thread scratch (BFS arrays, dedup marks). Construction is
+/// O(n); callers that manage their own threading can hold one per thread
+/// and pass it to Query explicitly. The convenience overloads that omit
+/// the workspace recycle instances through an internal freelist, so they
+/// are safe to call in a loop without re-paying the O(n) setup.
 class QueryWorkspace {
  public:
   explicit QueryWorkspace(const TopKSearcher& searcher);
@@ -152,6 +176,8 @@ class TopKSearcher {
   TopKSearcher(const DirectedGraph& graph, SearchOptions options);
   TopKSearcher(const DirectedGraph& graph, SearchOptions options,
                std::vector<double> diagonal);
+  TopKSearcher(TopKSearcher&&) noexcept;
+  ~TopKSearcher();
 
   /// Seconds of the last BuildIndex spent estimating D (0 unless
   /// options.estimate_diagonal was set).
@@ -180,10 +206,14 @@ class TopKSearcher {
   /// Answers a top-k query. Requires BuildIndex() first when the options
   /// enable the index or the L2 bound. Thread-safe: concurrent queries may
   /// share the searcher as long as each uses its own workspace.
-  QueryResult Query(Vertex query, QueryWorkspace& workspace) const;
+  /// `overrides` applies per-query runtime knobs (k, threshold,
+  /// refine_walks) without touching the shared options.
+  QueryResult Query(Vertex query, QueryWorkspace& workspace,
+                    const QueryOverrides& overrides = {}) const;
 
-  /// Convenience overload constructing a fresh workspace.
-  QueryResult Query(Vertex query) const;
+  /// Convenience overload: borrows a workspace from the internal freelist
+  /// (no O(n) allocation after the first call), so it is loop-safe.
+  QueryResult Query(Vertex query, const QueryOverrides& overrides = {}) const;
 
   /// Aggregated similarity to a *set* of vertices: runs a top-k query per
   /// member and ranks candidates by the sum of their scores across
@@ -191,21 +221,36 @@ class TopKSearcher {
   /// recommendation/link-prediction pattern ("items similar to the ones
   /// this user already has"). Stats are summed over member queries.
   QueryResult QueryGroup(std::span<const Vertex> group,
-                         QueryWorkspace& workspace) const;
+                         QueryWorkspace& workspace,
+                         const QueryOverrides& overrides = {}) const;
 
-  /// Convenience overload constructing a fresh workspace.
-  QueryResult QueryGroup(std::span<const Vertex> group) const;
+  /// Convenience overload: borrows a workspace from the internal freelist
+  /// (no O(n) allocation after the first call), so it is loop-safe.
+  QueryResult QueryGroup(std::span<const Vertex> group,
+                         const QueryOverrides& overrides = {}) const;
 
   /// Top-k for every vertex (the all-pairs mode of §2.2), parallelized over
-  /// query vertices. Returns one ranking per vertex.
+  /// query vertices. Returns one ranking per vertex. This is the bare
+  /// kernel loop; service::QueryEngine::QueryAll is the serving-layer
+  /// equivalent that reuses pooled workspaces and reports shard stats.
   std::vector<std::vector<ScoredVertex>> QueryAll(
       ThreadPool* pool = nullptr) const;
+
+  /// Number of workspaces currently parked in the internal freelist
+  /// (exposed for tests of the convenience-overload recycling).
+  size_t pooled_workspaces() const;
 
   /// Read-only access to the preprocess structures (for benches/tests).
   const GammaTable* gamma_table() const { return gamma_.get(); }
   const CandidateIndex* candidate_index() const { return index_.get(); }
 
  private:
+  /// Pops a recycled workspace (or constructs one on first use) and pushes
+  /// it back after the query. Thread-safe; the freelist is bounded so a
+  /// burst of concurrent convenience calls cannot pin unbounded memory.
+  std::unique_ptr<QueryWorkspace> AcquireWorkspace() const;
+  void ReleaseWorkspace(std::unique_ptr<QueryWorkspace> workspace) const;
+
   const DirectedGraph& graph_;
   SearchOptions options_;
   std::vector<double> diagonal_;
@@ -219,6 +264,11 @@ class TopKSearcher {
   bool index_built_ = false;
   double preprocess_seconds_ = 0.0;
   double diagonal_seconds_ = 0.0;
+  /// Recycled workspaces for the convenience overloads, held behind a
+  /// pointer (mutex members are immovable) so the searcher itself stays
+  /// movable for Result<TopKSearcher> loading paths.
+  struct WorkspacePool;
+  mutable std::unique_ptr<WorkspacePool> workspace_pool_;
 };
 
 }  // namespace simrank

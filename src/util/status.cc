@@ -18,6 +18,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kInternal:
+      return "Internal";
   }
   return "Unknown";
 }

@@ -1,6 +1,10 @@
 // Option-matrix coverage for TopKSearcher: every pruning/sampling switch,
 // horizon control, and instrumentation semantics.
 
+#include <functional>
+#include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -184,6 +188,55 @@ TEST_F(SearcherOptionsTest, ExplicitDiagonalDisablesEstimation) {
   searcher.BuildIndex();
   EXPECT_EQ(searcher.diagonal_seconds(), 0.0);
   EXPECT_EQ(searcher.diagonal(), diagonal);
+}
+
+TEST(SearchOptionsValidateTest, DefaultsAreValid) {
+  EXPECT_TRUE(SearchOptions{}.Validate().ok());
+}
+
+TEST(SearchOptionsValidateTest, NamesEveryOffendingField) {
+  // Each mutation must be rejected with InvalidArgument (never an abort),
+  // and the message must mention the field so the serving layer's error is
+  // actionable.
+  const std::vector<std::pair<std::string,
+                              std::function<void(SearchOptions&)>>> cases = {
+      {"decay", [](SearchOptions& o) { o.simrank.decay = 0.0; }},
+      {"decay", [](SearchOptions& o) { o.simrank.decay = 1.0; }},
+      {"num_steps", [](SearchOptions& o) { o.simrank.num_steps = 0; }},
+      {"k", [](SearchOptions& o) { o.k = 0; }},
+      {"threshold",
+       [](SearchOptions& o) {
+         o.threshold = std::numeric_limits<double>::quiet_NaN();
+       }},
+      {"threshold", [](SearchOptions& o) { o.threshold = -0.5; }},
+      {"estimate_walks", [](SearchOptions& o) { o.estimate_walks = 0; }},
+      {"refine_walks", [](SearchOptions& o) { o.refine_walks = 0; }},
+      {"profile_walks", [](SearchOptions& o) { o.profile_walks = 0; }},
+      {"l1_walks", [](SearchOptions& o) { o.l1_walks = 0; }},
+      {"gamma_walks", [](SearchOptions& o) { o.gamma_walks = 0; }},
+      {"adaptive_margin", [](SearchOptions& o) { o.adaptive_margin = 0.0; }},
+      {"adaptive_margin", [](SearchOptions& o) { o.adaptive_margin = 1.5; }},
+  };
+  for (const auto& [field, mutate] : cases) {
+    SearchOptions options;
+    mutate(options);
+    const Status status = options.Validate();
+    ASSERT_FALSE(status.ok()) << field;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << field;
+    EXPECT_NE(status.message().find(field), std::string::npos)
+        << "message '" << status.message() << "' does not name " << field;
+  }
+}
+
+TEST(SearchOptionsValidateTest, DisabledIngredientsSkipTheirChecks) {
+  SearchOptions options;
+  options.use_l1_bound = false;
+  options.l1_walks = 0;  // irrelevant when the bound is off
+  options.use_l2_bound = false;
+  options.gamma_walks = 0;
+  options.adaptive_sampling = false;
+  options.adaptive_margin = 7.0;
+  EXPECT_TRUE(options.Validate().ok());
 }
 
 }  // namespace

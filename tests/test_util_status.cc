@@ -47,6 +47,16 @@ TEST(StatusMoveTest, LongMessageSurvivesMoveChain) {
   EXPECT_EQ(c.message(), long_message);
 }
 
+TEST(StatusCodeTest, ServingLayerCodesRoundTrip) {
+  const Status deadline = Status::DeadlineExceeded("query ran out of time");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(),
+            "DeadlineExceeded: query ran out of time");
+  const Status internal = Status::Internal("task threw");
+  EXPECT_EQ(internal.code(), StatusCode::kInternal);
+  EXPECT_EQ(std::string(StatusCodeName(StatusCode::kInternal)), "Internal");
+}
+
 // ---------- Result<T> value-category behavior ----------
 
 TEST(ResultMoveTest, MoveConstructTransfersValue) {

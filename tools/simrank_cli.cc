@@ -192,29 +192,41 @@ int CmdPreprocess(const Flags& flags) {
   return 0;
 }
 
+// Stands up the serving engine over a graph, either adopting a searcher
+// restored from --index or building the preprocess from scratch. Invalid
+// flag combinations come back as a Status, never an abort.
+Result<std::unique_ptr<service::QueryEngine>> MakeEngine(
+    const DirectedGraph& graph, const Flags& flags,
+    service::EngineOptions options) {
+  options.search = OptionsFromFlags(flags);
+  options.num_threads =
+      static_cast<uint32_t>(flags.GetInt("threads", options.num_threads));
+  const std::string index_path = flags.GetString("index");
+  if (!index_path.empty()) {
+    auto loaded = LoadSearcherIndex(graph, options.search, index_path);
+    if (!loaded.ok()) return loaded.status();
+    return service::QueryEngine::Adopt(std::move(*loaded),
+                                       std::move(options));
+  }
+  return service::QueryEngine::Create(graph, std::move(options));
+}
+
 int CmdQuery(const Flags& flags) {
   if (flags.positional().empty()) return Usage();
   auto graph = LoadGraph(flags.positional()[0]);
   if (!graph.ok()) return Fail(graph.status().ToString());
+  auto engine = MakeEngine(*graph, flags, service::EngineOptions{});
+  if (!engine.ok()) return Fail(engine.status().ToString());
   const Vertex vertex = static_cast<Vertex>(flags.GetInt("vertex", 0));
-  if (vertex >= graph->NumVertices()) return Fail("--vertex out of range");
-  const SearchOptions options = OptionsFromFlags(flags);
-  const std::string index_path = flags.GetString("index");
-  std::optional<TopKSearcher> searcher;
-  if (!index_path.empty()) {
-    auto loaded = LoadSearcherIndex(*graph, options, index_path);
-    if (!loaded.ok()) return Fail(loaded.status().ToString());
-    searcher.emplace(std::move(*loaded));
-  } else {
-    searcher.emplace(*graph, options);
-    searcher->BuildIndex();
-  }
-  const QueryResult result = searcher->Query(vertex);
-  PrintRanking(result.top);
+  auto response =
+      (*engine)->Query(service::QueryRequest::ForVertex(vertex));
+  if (!response.ok()) return Fail(response.status().ToString());
+  PrintRanking(response->top);
   std::printf(
-      "%.2f ms, %llu candidates, %llu refined\n", result.stats.seconds * 1e3,
-      static_cast<unsigned long long>(result.stats.candidates_enumerated),
-      static_cast<unsigned long long>(result.stats.refined));
+      "%.2f ms, %llu candidates, %llu refined\n",
+      response->engine_seconds * 1e3,
+      static_cast<unsigned long long>(response->stats.candidates_enumerated),
+      static_cast<unsigned long long>(response->stats.refined));
   return 0;
 }
 
@@ -278,41 +290,27 @@ int CmdAllPairs(const Flags& flags) {
   if (out.empty()) return Fail("--out is required");
   auto graph = LoadGraph(flags.positional()[0]);
   if (!graph.ok()) return Fail(graph.status().ToString());
-  const SearchOptions options = OptionsFromFlags(flags);
-  const std::string index_path = flags.GetString("index");
-  std::optional<TopKSearcher> searcher;
-  if (!index_path.empty()) {
-    auto loaded = LoadSearcherIndex(*graph, options, index_path);
-    if (!loaded.ok()) return Fail(loaded.status().ToString());
-    searcher.emplace(std::move(*loaded));
-  } else {
-    searcher.emplace(*graph, options);
-    searcher->BuildIndex();
-  }
+  service::EngineOptions engine_options;
+  engine_options.num_threads = 1;  // --threads overrides inside MakeEngine
+  engine_options.enable_cache = false;  // every vertex queried exactly once
+  auto engine = MakeEngine(*graph, flags, std::move(engine_options));
+  if (!engine.ok()) return Fail(engine.status().ToString());
   AllPairsOptions all;
   all.partition = static_cast<uint32_t>(flags.GetInt("partition", 0));
   all.num_partitions =
       static_cast<uint32_t>(flags.GetInt("partitions", 1));
-  if (all.partition >= all.num_partitions) {
-    return Fail("--partition must be < --partitions");
-  }
-  const uint64_t threads = flags.GetInt("threads", 1);
-  std::optional<ThreadPool> pool;
-  if (threads > 1) {
-    pool.emplace(static_cast<size_t>(threads));
-    all.pool = &*pool;
-  }
   all.progress = [](uint64_t done) {
     std::fprintf(stderr, "\r%llu queries done",
                  static_cast<unsigned long long>(done));
   };
-  const AllPairsShard shard = RunAllPairs(*searcher, all);
+  auto shard = (*engine)->RunAllPairs(all);
+  if (!shard.ok()) return Fail(shard.status().ToString());
   std::fprintf(stderr, "\n");
-  const Status status = WriteShardTsv(shard, out);
+  const Status status = WriteShardTsv(*shard, out);
   if (!status.ok()) return Fail(status.ToString());
   std::printf("partition %u/%u: %zu queries in %s -> %s\n", all.partition,
-              all.num_partitions, shard.rankings.size(),
-              FormatDuration(shard.seconds).c_str(), out.c_str());
+              all.num_partitions, shard->rankings.size(),
+              FormatDuration(shard->seconds).c_str(), out.c_str());
   return 0;
 }
 

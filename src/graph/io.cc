@@ -10,6 +10,8 @@
 #include "graph/builder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
 
 namespace simrank {
 
@@ -25,6 +27,12 @@ void RecordLoad(uint64_t bytes, const DirectedGraph& graph) {
   registry.GetCounter("io.graphs_loaded").Add(1);
   registry.GetCounter("io.bytes_read").Add(bytes);
   registry.GetCounter("io.edges_loaded").Add(graph.NumEdges());
+}
+
+void RecordSave(uint64_t bytes) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry.GetCounter("io.graphs_saved").Add(1);
+  registry.GetCounter("io.bytes_written").Add(bytes);
 }
 
 // Parses one edge line into (from, to). Returns false for blank lines.
@@ -121,42 +129,40 @@ Result<DirectedGraph> LoadEdgeListText(const std::string& path,
 }
 
 Status SaveEdgeListText(const DirectedGraph& graph, const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IoError("cannot create " + path + ": " +
-                           std::strerror(errno));
-  }
-  std::fprintf(file, "# simrank edge list: n=%u m=%llu\n", graph.NumVertices(),
-               static_cast<unsigned long long>(graph.NumEdges()));
+  SIMRANK_FAULT_POINT("io.save_edgelist");
+  AtomicFileWriter writer(path);
+  char line[64];
+  int len = std::snprintf(line, sizeof(line), "# simrank edge list: n=%u m=%llu\n",
+                          graph.NumVertices(),
+                          static_cast<unsigned long long>(graph.NumEdges()));
+  writer.Append(line, static_cast<size_t>(len));
   for (Vertex u = 0; u < graph.NumVertices(); ++u) {
     for (Vertex v : graph.OutNeighbors(u)) {
-      std::fprintf(file, "%u %u\n", u, v);
+      len = std::snprintf(line, sizeof(line), "%u %u\n", u, v);
+      writer.Append(line, static_cast<size_t>(len));
     }
   }
-  const bool write_error = std::ferror(file) != 0;
-  std::fclose(file);
-  if (write_error) return Status::IoError("write error on " + path);
+  const uint64_t bytes = writer.size();
+  SIMRANK_RETURN_IF_ERROR(writer.Commit());
+  RecordSave(bytes);
   return Status::OK();
 }
 
 Status SaveBinary(const DirectedGraph& graph, const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IoError("cannot create " + path + ": " +
-                           std::strerror(errno));
-  }
+  SIMRANK_FAULT_POINT("io.save_binary");
+  AtomicFileWriter writer(path);
   const uint64_t n = graph.NumVertices();
   const uint64_t m = graph.NumEdges();
-  bool ok = std::fwrite(&kBinaryMagic, sizeof(kBinaryMagic), 1, file) == 1 &&
-            std::fwrite(&n, sizeof(n), 1, file) == 1 &&
-            std::fwrite(&m, sizeof(m), 1, file) == 1;
+  writer.AppendValue(kBinaryMagic);
+  writer.AppendValue(n);
+  writer.AppendValue(m);
   const std::vector<Edge> edges = graph.Edges();
-  if (ok && m > 0) {
-    ok = std::fwrite(edges.data(), sizeof(Edge), edges.size(), file) ==
-         edges.size();
+  if (m > 0) {
+    writer.Append(edges.data(), edges.size() * sizeof(Edge));
   }
-  std::fclose(file);
-  if (!ok) return Status::IoError("write error on " + path);
+  const uint64_t bytes = writer.size();
+  SIMRANK_RETURN_IF_ERROR(writer.Commit());
+  RecordSave(bytes);
   return Status::OK();
 }
 
@@ -175,9 +181,29 @@ Result<DirectedGraph> LoadBinary(const std::string& path) {
     std::fclose(file);
     return Status::Corruption(path + " is not a simrank binary graph");
   }
-  if (n > 0xFFFFFFFEULL) {
+  // The CSR build allocates O(n) regardless of how many edges the file
+  // holds, so a corrupt vertex count must be rejected before it can
+  // drive a multi-gigabyte allocation. 2^28 is far beyond any graph the
+  // rest of the pipeline can process while keeping the worst corrupt
+  // header to a few hundred MB of transient memory.
+  constexpr uint64_t kMaxLoadVertices = 1ULL << 28;
+  if (n > kMaxLoadVertices) {
     std::fclose(file);
     return Status::Corruption(path + ": vertex count out of range");
+  }
+  // Bound the edge count by what the file can actually hold before
+  // allocating: a corrupt count must fail cleanly, not attempt a giant
+  // allocation.
+  const long data_start = std::ftell(file);
+  std::fseek(file, 0, SEEK_END);
+  const long file_end = std::ftell(file);
+  std::fseek(file, data_start, SEEK_SET);
+  const uint64_t available =
+      file_end > data_start ? static_cast<uint64_t>(file_end - data_start)
+                            : 0;
+  if (m > available / sizeof(Edge)) {
+    std::fclose(file);
+    return Status::Corruption(path + ": truncated edge array");
   }
   std::vector<Edge> edges(m);
   if (m > 0 && std::fread(edges.data(), sizeof(Edge), m, file) != m) {

@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/counter.h"
+#include "util/fault_injection.h"
 
 namespace simrank::obs {
 
@@ -155,6 +156,13 @@ void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
+  // The fault injector keeps its own counters (util cannot depend on obs);
+  // the registry pulls them into every snapshot so "faults.*" shows up in
+  // exports whenever injection is active. Empty when never hit.
+  for (const auto& [name, value] :
+       fault::FaultInjector::Default().SnapshotCounters()) {
+    snapshot.counters[name] = value;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();

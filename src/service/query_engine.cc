@@ -230,6 +230,13 @@ Result<AllPairsShard> QueryEngine::RunAllPairs(const AllPairsOptions& options) {
   return simrank::RunAllPairs(searcher_, engine_options);
 }
 
+Result<AllPairsFileReport> QueryEngine::RunAllPairsToFile(
+    const AllPairsFileOptions& options, const std::string& path) {
+  AllPairsFileOptions engine_options = options;
+  engine_options.run.pool = &pool_;
+  return simrank::RunAllPairsToFile(searcher_, engine_options, path);
+}
+
 void QueryEngine::InvalidateCache() {
   if (cache_ != nullptr) cache_->Clear();
 }

@@ -200,6 +200,13 @@ class QueryEngine {
   /// the shard. Returns InvalidArgument for a bad partition spec.
   Result<AllPairsShard> RunAllPairs(const AllPairsOptions& options);
 
+  /// Crash-safe partitioned all-pairs straight to a TSV file (see
+  /// simrank::RunAllPairsToFile): streams rankings in checkpointed chunks
+  /// and can resume an interrupted run. `options.run.pool` is ignored —
+  /// the engine's own pool runs the shard.
+  Result<AllPairsFileReport> RunAllPairsToFile(
+      const AllPairsFileOptions& options, const std::string& path);
+
   /// Drops every cached result (call after mutating external state the
   /// rankings were derived from).
   void InvalidateCache();

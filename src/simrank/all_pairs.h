@@ -26,8 +26,20 @@ struct AllPairsOptions {
   uint32_t num_partitions = 1;
   /// Thread pool for intra-run parallelism; may be null (serial).
   ThreadPool* pool = nullptr;
-  /// Invoked after every `progress_interval` completed queries (from an
-  /// unspecified thread) with the number completed so far; null disables.
+  /// Progress callback. Delivery contract:
+  ///  - invoked exactly once for every multiple of `progress_interval`
+  ///    completed queries (1024, 2048, ... for the default interval), with
+  ///    that multiple as argument;
+  ///  - invocations are serialized (an internal mutex guards delivery —
+  ///    the callback is never entered concurrently) and their arguments
+  ///    are strictly increasing;
+  ///  - the invoking thread is whichever worker crossed the boundary (the
+  ///    calling thread when `pool` is null), so the callback must not
+  ///    block for long and must not re-enter the runner;
+  ///  - on a checkpoint resume, counts restart at the first query
+  ///    *executed by this process* — already-durable queries are not
+  ///    replayed and not reported.
+  /// null disables.
   std::function<void(uint64_t)> progress;
   uint64_t progress_interval = 1024;
 };
@@ -52,14 +64,63 @@ struct AllPairsShard {
   }
 };
 
-/// Runs top-k queries for every vertex of the shard. The searcher must be
-/// preprocessed (BuildIndex) already.
+/// Runs top-k queries for every vertex of the shard, buffering every
+/// ranking in memory. The searcher must be preprocessed (BuildIndex)
+/// already. For multi-hour shards prefer RunAllPairsToFile, which streams
+/// rankings to disk in checkpointed chunks and can resume after a crash.
 AllPairsShard RunAllPairs(const TopKSearcher& searcher,
                           const AllPairsOptions& options = {});
 
 /// Writes a shard as TSV lines "query<TAB>vertex<TAB>score", ranked
-/// best-first per query. Queries with no results emit no lines.
+/// best-first per query. Queries with no results emit no lines. The file
+/// is written atomically (temp + fsync + rename): readers never observe a
+/// partial shard at `path`.
 Status WriteShardTsv(const AllPairsShard& shard, const std::string& path);
+
+/// Options of the streaming, checkpointed all-pairs runner.
+struct AllPairsFileOptions {
+  /// Partitioning, pool and progress reporting, as for RunAllPairs.
+  AllPairsOptions run;
+  /// Queries per durable chunk: each block of this many completed queries
+  /// is written to the checkpoint directory and recorded in the manifest
+  /// before the next block starts. Smaller values bound the work lost to
+  /// a crash; each chunk costs two fsync'd file writes.
+  uint64_t checkpoint_queries = 1024;
+  /// Continue from the checkpoint left by a previous (crashed) run of the
+  /// same output path. The manifest must validate against the current
+  /// graph, options and partition config (see docs/ROBUSTNESS.md);
+  /// resuming with nothing to resume is an IoError.
+  bool resume = false;
+  /// Keep the checkpoint directory after a successful run (tests).
+  bool keep_checkpoint = false;
+};
+
+/// Outcome of a RunAllPairsToFile call.
+struct AllPairsFileReport {
+  /// Queries executed by this process.
+  uint64_t queries = 0;
+  /// Queries skipped because a resumed checkpoint already covered them.
+  uint64_t resumed_queries = 0;
+  /// Durable chunks making up the final file (resumed + new).
+  uint64_t chunks = 0;
+  /// Stats accumulated over the whole shard, including resumed chunks.
+  QueryStats stats;
+  /// Wall time of this process's run.
+  double seconds = 0.0;
+  /// Wall time including previous crashed runs of the same shard.
+  double cumulative_seconds = 0.0;
+};
+
+/// The crash-safe all-pairs runner: streams completed rankings to
+/// `path`'s checkpoint directory in bounded chunks (never holding more
+/// than one chunk of rankings in memory), persists a manifest after every
+/// chunk, and atomically assembles the final TSV — byte-identical to
+/// WriteShardTsv of an uninterrupted RunAllPairs — once the shard is
+/// complete. A run killed at any instant can be continued with
+/// `options.resume` from the last durable chunk.
+Result<AllPairsFileReport> RunAllPairsToFile(const TopKSearcher& searcher,
+                                             const AllPairsFileOptions& options,
+                                             const std::string& path);
 
 }  // namespace simrank
 

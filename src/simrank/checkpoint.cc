@@ -1,0 +1,296 @@
+#include "simrank/checkpoint.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <type_traits>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
+
+namespace simrank {
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+
+// FNV-1a, fed field by field. Every field gets its full byte image, so
+// two option sets differing in any query-relevant knob fingerprint
+// differently (module padding games, which plain members do not play).
+class Fingerprinter {
+ public:
+  template <typename T>
+  void Mix(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const unsigned char*>(&value);
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + kManifestName;
+}
+
+// --- tiny line-oriented "key=value" parser for the manifest ---
+
+struct ManifestParser {
+  explicit ManifestParser(const std::string& text) : text_(text) {}
+
+  bool NextLine(std::string& line) {
+    while (pos_ < text_.size()) {
+      size_t eol = text_.find('\n', pos_);
+      if (eol == std::string::npos) eol = text_.size();
+      line = text_.substr(pos_, eol - pos_);
+      pos_ = eol + 1;
+      if (!line.empty()) return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool ParseUint(const std::string& token, uint64_t& value) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  value = std::strtoull(token.c_str(), &end, 10);
+  return end == token.c_str() + token.size() && errno != ERANGE;
+}
+
+bool ParseDouble(const std::string& token, double& value) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  value = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size() && errno != ERANGE;
+}
+
+Status Malformed(const std::string& dir, const std::string& what) {
+  return Status::Corruption(ManifestPath(dir) + ": " + what);
+}
+
+}  // namespace
+
+uint64_t FingerprintOptions(const SearchOptions& options) {
+  Fingerprinter fp;
+  fp.Mix(options.simrank.decay);
+  fp.Mix(options.simrank.num_steps);
+  fp.Mix(options.k);
+  fp.Mix(options.threshold);
+  fp.Mix(options.max_distance);
+  fp.Mix(static_cast<uint8_t>(options.use_distance_bound));
+  fp.Mix(static_cast<uint8_t>(options.use_l1_bound));
+  fp.Mix(static_cast<uint8_t>(options.use_l2_bound));
+  fp.Mix(static_cast<uint8_t>(options.use_index));
+  fp.Mix(static_cast<uint8_t>(options.adaptive_sampling));
+  fp.Mix(options.estimate_walks);
+  fp.Mix(options.refine_walks);
+  fp.Mix(options.profile_walks);
+  fp.Mix(options.l1_walks);
+  fp.Mix(options.gamma_walks);
+  fp.Mix(options.adaptive_margin);
+  fp.Mix(options.index_params.repetitions);
+  fp.Mix(options.index_params.witness_walks);
+  fp.Mix(static_cast<uint8_t>(options.estimate_diagonal));
+  fp.Mix(options.seed);
+  return fp.hash();
+}
+
+std::string CheckpointDirFor(const std::string& tsv_path) {
+  return tsv_path + ".ckpt";
+}
+
+Status WriteCheckpoint(const AllPairsCheckpoint& checkpoint,
+                       const std::string& dir) {
+  SIMRANK_FAULT_POINT("ckpt.manifest.write");
+  AtomicFileWriter writer(ManifestPath(dir));
+  char line[256];
+  auto emit = [&](const char* fmt, auto... args) {
+    const int len = std::snprintf(line, sizeof(line), fmt, args...);
+    writer.Append(line, static_cast<size_t>(len));
+  };
+  emit("%s\n", AllPairsCheckpoint::kFormatTag);
+  emit("graph_n=%" PRIu64 "\n", checkpoint.graph_n);
+  emit("graph_m=%" PRIu64 "\n", checkpoint.graph_m);
+  emit("fingerprint=%016" PRIx64 "\n", checkpoint.options_fingerprint);
+  emit("partition=%u\n", checkpoint.partition);
+  emit("num_partitions=%u\n", checkpoint.num_partitions);
+  emit("chunk_queries=%" PRIu64 "\n", checkpoint.chunk_queries);
+  emit("next_index=%" PRIu64 "\n", checkpoint.next_index);
+  emit("seconds=%.17g\n", checkpoint.seconds);
+  emit("stats=%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+       " %" PRIu64 " %" PRIu64 " %.17g\n",
+       checkpoint.stats.candidates_enumerated,
+       checkpoint.stats.pruned_by_distance, checkpoint.stats.pruned_by_l1,
+       checkpoint.stats.pruned_by_l2, checkpoint.stats.rough_estimates,
+       checkpoint.stats.skipped_after_estimate, checkpoint.stats.refined,
+       checkpoint.stats.seconds);
+  for (const CheckpointChunk& chunk : checkpoint.chunks) {
+    emit("chunk=%s %" PRIu64 "\n", chunk.file.c_str(), chunk.bytes);
+  }
+  return writer.Commit();
+}
+
+Result<AllPairsCheckpoint> ReadCheckpoint(const std::string& dir) {
+  const std::string path = ManifestPath(dir);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) return Status::IoError("read error on " + path);
+
+  ManifestParser parser(text);
+  std::string line;
+  if (!parser.NextLine(line) || line != AllPairsCheckpoint::kFormatTag) {
+    return Malformed(dir, "not a " +
+                              std::string(AllPairsCheckpoint::kFormatTag) +
+                              " manifest");
+  }
+  AllPairsCheckpoint checkpoint;
+  std::map<std::string, bool> seen;
+  while (parser.NextLine(line)) {
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Malformed(dir, "malformed line '" + line + "'");
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    bool parsed = true;
+    uint64_t u = 0;
+    if (key == "graph_n") {
+      parsed = ParseUint(value, checkpoint.graph_n);
+    } else if (key == "graph_m") {
+      parsed = ParseUint(value, checkpoint.graph_m);
+    } else if (key == "fingerprint") {
+      char* end = nullptr;
+      errno = 0;
+      checkpoint.options_fingerprint = std::strtoull(value.c_str(), &end, 16);
+      parsed = !value.empty() && end == value.c_str() + value.size() &&
+               errno != ERANGE;
+    } else if (key == "partition") {
+      parsed = ParseUint(value, u) && u <= 0xFFFFFFFFULL;
+      checkpoint.partition = static_cast<uint32_t>(u);
+    } else if (key == "num_partitions") {
+      parsed = ParseUint(value, u) && u >= 1 && u <= 0xFFFFFFFFULL;
+      checkpoint.num_partitions = static_cast<uint32_t>(u);
+    } else if (key == "chunk_queries") {
+      parsed = ParseUint(value, checkpoint.chunk_queries);
+    } else if (key == "next_index") {
+      parsed = ParseUint(value, checkpoint.next_index);
+    } else if (key == "seconds") {
+      parsed = ParseDouble(value, checkpoint.seconds);
+    } else if (key == "stats") {
+      QueryStats& s = checkpoint.stats;
+      parsed = std::sscanf(value.c_str(),
+                           "%" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                           " %" SCNu64 " %" SCNu64 " %" SCNu64 " %lg",
+                           &s.candidates_enumerated, &s.pruned_by_distance,
+                           &s.pruned_by_l1, &s.pruned_by_l2,
+                           &s.rough_estimates, &s.skipped_after_estimate,
+                           &s.refined, &s.seconds) == 8;
+    } else if (key == "chunk") {
+      const size_t space = value.find(' ');
+      CheckpointChunk chunk;
+      parsed = space != std::string::npos && space > 0;
+      if (parsed) {
+        chunk.file = value.substr(0, space);
+        parsed = ParseUint(value.substr(space + 1), chunk.bytes) &&
+                 chunk.file.find('/') == std::string::npos;
+      }
+      if (parsed) checkpoint.chunks.push_back(std::move(chunk));
+    } else {
+      // Unknown keys are a format error: v1 readers refuse rather than
+      // guess, and future versions bump the tag.
+      parsed = false;
+    }
+    if (!parsed) return Malformed(dir, "bad value in line '" + line + "'");
+    if (key != "chunk" && !seen.emplace(key, true).second) {
+      return Malformed(dir, "duplicate key '" + key + "'");
+    }
+  }
+  for (const char* required :
+       {"graph_n", "graph_m", "fingerprint", "partition", "num_partitions",
+        "next_index"}) {
+    if (seen.find(required) == seen.end()) {
+      return Malformed(dir, std::string("missing key '") + required + "'");
+    }
+  }
+  return checkpoint;
+}
+
+Status ValidateCheckpoint(const AllPairsCheckpoint& checkpoint,
+                          const TopKSearcher& searcher, uint32_t partition,
+                          uint32_t num_partitions, const std::string& dir) {
+  const DirectedGraph& graph = searcher.graph();
+  if (checkpoint.graph_n != graph.NumVertices() ||
+      checkpoint.graph_m != graph.NumEdges()) {
+    return Status::InvalidArgument(
+        dir + ": checkpoint was taken on a different graph (n/m mismatch)");
+  }
+  if (checkpoint.options_fingerprint !=
+      FingerprintOptions(searcher.options())) {
+    return Status::InvalidArgument(
+        dir +
+        ": checkpoint was taken with different search options "
+        "(fingerprint mismatch)");
+  }
+  if (checkpoint.partition != partition ||
+      checkpoint.num_partitions != num_partitions) {
+    return Status::InvalidArgument(
+        dir + ": checkpoint covers partition " +
+        std::to_string(checkpoint.partition) + "/" +
+        std::to_string(checkpoint.num_partitions) + ", not " +
+        std::to_string(partition) + "/" + std::to_string(num_partitions));
+  }
+  for (const CheckpointChunk& chunk : checkpoint.chunks) {
+    struct stat st = {};
+    const std::string path = dir + "/" + chunk.file;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::Corruption(path + ": checkpointed chunk is missing");
+    }
+    if (static_cast<uint64_t>(st.st_size) != chunk.bytes) {
+      return Status::Corruption(
+          path + ": checkpointed chunk has " + std::to_string(st.st_size) +
+          " bytes, manifest says " + std::to_string(chunk.bytes));
+    }
+  }
+  return Status::OK();
+}
+
+void RemoveCheckpoint(const AllPairsCheckpoint& checkpoint,
+                      const std::string& dir) {
+  for (const CheckpointChunk& chunk : checkpoint.chunks) {
+    const std::string path = dir + "/" + chunk.file;
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  std::remove((ManifestPath(dir) + ".tmp").c_str());
+  std::remove(ManifestPath(dir).c_str());
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace simrank

@@ -1,0 +1,133 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/fault_injection.h"
+
+namespace simrank {
+
+namespace {
+
+// Errors that no amount of retrying will fix: the target directory is
+// missing, not writable, or the path itself is bogus. Everything else
+// (EINTR, EIO, ENOSPC that may clear, injected faults) is retried.
+bool IsPermanentErrno(int err) {
+  switch (err) {
+    case ENOENT:
+    case ENOTDIR:
+    case EACCES:
+    case EPERM:
+    case EROFS:
+    case EISDIR:
+    case ENAMETOOLONG:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Best-effort fsync of the directory containing `path`, so the rename
+// itself is durable. Failure is ignored: some filesystems reject
+// directory fsync, and the file-level fsync already happened.
+void SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : AtomicFileWriter(std::move(path), Options()) {}
+
+AtomicFileWriter::AtomicFileWriter(std::string path, Options options)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp"),
+      options_(options) {}
+
+Status AtomicFileWriter::TryCommitOnce(bool& retryable) {
+  retryable = true;  // injected faults and unclassified errnos retry
+
+  SIMRANK_FAULT_POINT("io.atomic.open");
+  std::FILE* file = std::fopen(temp_path_.c_str(), "wb");
+  if (file == nullptr) {
+    retryable = !IsPermanentErrno(errno);
+    return Status::IoError("cannot create " + temp_path_ + ": " +
+                           std::strerror(errno));
+  }
+
+  Status status;
+  SIMRANK_FAULT_POINT_SET("io.atomic.write", status);
+  if (status.ok() && !buffer_.empty() &&
+      std::fwrite(buffer_.data(), 1, buffer_.size(), file) != buffer_.size()) {
+    status = Status::IoError("write error on " + temp_path_);
+  }
+  if (status.ok() && std::fflush(file) != 0) {
+    status = Status::IoError("flush error on " + temp_path_);
+  }
+  if (status.ok() && options_.sync) {
+    SIMRANK_FAULT_POINT_SET("io.atomic.sync", status);
+    if (status.ok() && ::fsync(::fileno(file)) != 0) {
+      status = Status::IoError("fsync error on " + temp_path_ + ": " +
+                               std::strerror(errno));
+    }
+  }
+  std::fclose(file);
+  if (!status.ok()) {
+    std::remove(temp_path_.c_str());
+    return status;
+  }
+
+  SIMRANK_FAULT_POINT_SET("io.atomic.rename", status);
+  if (status.ok() && std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    retryable = !IsPermanentErrno(errno);
+    status = Status::IoError("cannot rename " + temp_path_ + " to " + path_ +
+                             ": " + std::strerror(errno));
+  }
+  if (!status.ok()) {
+    std::remove(temp_path_.c_str());
+    return status;
+  }
+  if (options_.sync) SyncParentDirectory(path_);
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  SIMRANK_CHECK(!committed_);
+  committed_ = true;
+  Status status;
+  double backoff = options_.initial_backoff_seconds;
+  const uint32_t attempts = options_.max_attempts > 0 ? options_.max_attempts
+                                                      : 1;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
+    }
+    bool retryable = true;
+    status = TryCommitOnce(retryable);
+    if (status.ok() || !retryable) return status;
+  }
+  return status;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view content,
+                       AtomicFileWriter::Options options) {
+  AtomicFileWriter writer(path, options);
+  writer.Append(content);
+  return writer.Commit();
+}
+
+}  // namespace simrank

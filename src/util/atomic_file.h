@@ -1,0 +1,91 @@
+#ifndef SIMRANK_UTIL_ATOMIC_FILE_H_
+#define SIMRANK_UTIL_ATOMIC_FILE_H_
+
+// All-or-nothing durable file writes (docs/ROBUSTNESS.md).
+//
+// Every writer of durable state in this library (graph snapshots, searcher
+// indexes, all-pairs TSV shards, checkpoint manifests) goes through
+// AtomicFileWriter so that a reader can never observe a half-written file
+// at the final path: content is staged in memory, then committed as
+//
+//   write <path>.tmp (same directory) -> fflush -> fsync -> rename -> done
+//
+// A crash before the rename leaves the previous file (if any) untouched;
+// a crash after it leaves the complete new file. Transient IO failures
+// during the commit sequence are retried with bounded exponential backoff
+// (the whole sequence restarts from a fresh temp file); permanent errors
+// (missing directory, permissions) fail immediately.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "util/status.h"
+
+namespace simrank {
+
+class AtomicFileWriter {
+ public:
+  struct Options {
+    /// Total tries of the commit sequence (first attempt + retries).
+    uint32_t max_attempts = 4;
+    /// Sleep before the first retry; doubles for each further retry.
+    double initial_backoff_seconds = 0.002;
+    /// fsync the temp file (and best-effort its directory) before the
+    /// rename. Disable only for scratch output where durability across
+    /// power loss does not matter; atomicity is kept either way.
+    bool sync = true;
+  };
+
+  explicit AtomicFileWriter(std::string path);
+  AtomicFileWriter(std::string path, Options options);
+
+  /// Discards staged content; never touches `path` if Commit() was not
+  /// called (or did not succeed).
+  ~AtomicFileWriter() = default;
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  void Append(const void* data, size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  void Append(std::string_view text) { buffer_.append(text); }
+  template <typename T>
+  void AppendValue(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Append(&value, sizeof(T));
+  }
+
+  /// Bytes staged so far.
+  size_t size() const { return buffer_.size(); }
+
+  const std::string& path() const { return path_; }
+  /// The staging path used by Commit (exposed for tests).
+  const std::string& temp_path() const { return temp_path_; }
+
+  /// Runs the write-fsync-rename sequence (with retries). On success the
+  /// complete content is at path(); on failure the previous file at
+  /// path() is untouched and the temp file has been cleaned up.
+  /// Must be called at most once.
+  Status Commit();
+
+ private:
+  Status TryCommitOnce(bool& retryable);
+
+  std::string path_;
+  std::string temp_path_;
+  std::string buffer_;
+  Options options_;
+  bool committed_ = false;
+};
+
+/// Convenience: atomically replaces `path` with `content`.
+Status AtomicWriteFile(const std::string& path, std::string_view content,
+                       AtomicFileWriter::Options options = {});
+
+}  // namespace simrank
+
+#endif  // SIMRANK_UTIL_ATOMIC_FILE_H_

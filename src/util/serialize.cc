@@ -5,33 +5,15 @@
 
 namespace simrank {
 
-BinaryWriter::BinaryWriter(const std::string& path)
-    : file_(std::fopen(path.c_str(), "wb")), path_(path) {
-  if (file_ == nullptr) {
-    status_ = Status::IoError("cannot create " + path + ": " +
-                              std::strerror(errno));
-  }
-}
-
-BinaryWriter::~BinaryWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+BinaryWriter::BinaryWriter(const std::string& path) : writer_(path) {}
 
 void BinaryWriter::WriteBytes(const void* data, size_t size) {
   if (!status_.ok() || size == 0) return;
-  if (std::fwrite(data, 1, size, file_) != size) {
-    status_ = Status::IoError("write error on " + path_);
-  }
+  writer_.Append(data, size);
 }
 
 Status BinaryWriter::Finish() {
-  if (file_ != nullptr) {
-    if (status_.ok() && std::fflush(file_) != 0) {
-      status_ = Status::IoError("flush error on " + path_);
-    }
-    std::fclose(file_);
-    file_ = nullptr;
-  }
+  if (status_.ok()) status_ = writer_.Commit();
   return status_;
 }
 
@@ -40,7 +22,13 @@ BinaryReader::BinaryReader(const std::string& path)
   if (file_ == nullptr) {
     status_ =
         Status::IoError("cannot open " + path + ": " + std::strerror(errno));
+    return;
   }
+  if (std::fseek(file_, 0, SEEK_END) == 0) {
+    const long size = std::ftell(file_);
+    if (size > 0) remaining_ = static_cast<uint64_t>(size);
+  }
+  std::rewind(file_);
 }
 
 BinaryReader::~BinaryReader() {
@@ -54,6 +42,7 @@ bool BinaryReader::ReadBytes(void* data, size_t size) {
     status_ = Status::Corruption(path_ + ": unexpected end of file");
     return false;
   }
+  remaining_ -= size < remaining_ ? size : remaining_;
   return true;
 }
 

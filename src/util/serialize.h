@@ -7,19 +7,23 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/atomic_file.h"
 #include "util/status.h"
 
 namespace simrank {
 
-/// Minimal checked binary writer over stdio. Values are written in host
-/// byte order (index files are machine-local caches, not interchange
-/// formats). All methods are no-ops after the first failure; call
-/// Finish() to close and retrieve the final status.
+/// Minimal checked binary writer. Values are written in host byte order
+/// (index files are machine-local caches, not interchange formats).
+///
+/// The writer stages everything through util::AtomicFileWriter: nothing
+/// touches `path` until Finish() commits (temp file + fsync + rename), so
+/// an interrupted save never leaves a truncated file — and never clobbers
+/// a good previous file — at the final path. All methods are no-ops after
+/// the first failure; call Finish() to commit and retrieve the final
+/// status.
 class BinaryWriter {
  public:
-  /// Opens `path` for writing (truncates).
   explicit BinaryWriter(const std::string& path);
-  ~BinaryWriter();
 
   BinaryWriter(const BinaryWriter&) = delete;
   BinaryWriter& operator=(const BinaryWriter&) = delete;
@@ -41,15 +45,15 @@ class BinaryWriter {
 
   bool ok() const { return status_.ok(); }
 
-  /// Flushes, closes, and returns the accumulated status. Must be called
-  /// exactly once before destruction for a meaningful result.
+  /// Atomically publishes the staged bytes to the path and returns the
+  /// final status. Must be called exactly once before destruction for the
+  /// file to appear; without it nothing is written.
   Status Finish();
 
  private:
   void WriteBytes(const void* data, size_t size);
 
-  std::FILE* file_;
-  std::string path_;
+  AtomicFileWriter writer_;
   Status status_;
 };
 
@@ -70,14 +74,16 @@ class BinaryReader {
   }
 
   /// Reads a length-prefixed vector; rejects lengths implying more bytes
-  /// than `max_bytes` (corruption guard, default 1 TiB).
+  /// than `max_bytes` (default 1 TiB) — or than the file has left, so a
+  /// corrupt length field fails cleanly instead of attempting a giant
+  /// allocation.
   template <typename T>
   bool ReadVector(std::vector<T>& values,
                   uint64_t max_bytes = 1ull << 40) {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t size = 0;
     if (!Read(size)) return false;
-    if (size > max_bytes / sizeof(T)) {
+    if (size > max_bytes / sizeof(T) || size > remaining_ / sizeof(T)) {
       status_ = Status::Corruption(path_ + ": implausible vector length");
       return false;
     }
@@ -92,6 +98,8 @@ class BinaryReader {
   bool ReadBytes(void* data, size_t size);
 
   std::FILE* file_;
+  /// Bytes of the file not yet consumed (from the size at open).
+  uint64_t remaining_ = 0;
   std::string path_;
   Status status_;
 };

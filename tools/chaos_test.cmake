@@ -1,0 +1,148 @@
+# Chaos test of the crash-safe all-pairs runner (docs/ROBUSTNESS.md).
+#
+# Plan: compute a small shard once uninterrupted as the golden file, then
+# for each of several injected fault points
+#   1. start a fresh run that hard-aborts (exit 77, no cleanup) at the
+#      fault point,
+#   2. resume it (possibly hitting a *second* abort later in the run),
+#   3. require the resumed output to be byte-identical to the golden file
+#      and the checkpoint directory to be gone.
+# Also exercises soft (Status-returning) injected errors: transient write
+# failures must be absorbed by the retry layer, and the obs JSON must
+# prove the faults actually fired (faults.injected > 0).
+#
+# Usage: cmake -DCLI=<binary> -DWORK_DIR=<dir> -P chaos_test.cmake
+# Requires the CLI built with SIMRANK_FAULT_INJECTION (the default).
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+set(graph ${WORK_DIR}/chaos_graph.bin)
+set(index ${WORK_DIR}/chaos.idx)
+set(golden ${WORK_DIR}/chaos_golden.tsv)
+
+run_checked(${CLI} generate --family=web --n=600 --m=3000 --seed=11
+            --out=${graph})
+run_checked(${CLI} preprocess ${graph} --index=${index})
+
+# Small checkpoint interval so every run spans many chunks; single
+# partition covering all 600 vertices.
+set(allpairs_args ${graph} --index=${index} --threads=2
+    --checkpoint-interval=64)
+
+run_checked(${CLI} allpairs ${allpairs_args} --out=${golden})
+if(NOT EXISTS ${golden})
+  message(FATAL_ERROR "golden allpairs run wrote nothing")
+endif()
+
+# One entry per scenario: "<name>;<SIMRANK_FAULTS spec for the first run>".
+# All triggers are deterministic on-Nth-hit (never probabilistic) so CI
+# results are reproducible. The hit counts are chosen to land mid-run:
+# with 600 queries and 64-query chunks there are 10 chunk writes, each
+# costing one manifest write and a handful of io.atomic.* hits.
+set(scenarios
+    "abort-chunk-write|ckpt.chunk.write=abort@4"
+    "abort-manifest|ckpt.manifest.write=abort@6"
+    "abort-rename|io.atomic.rename=abort@9"
+    "abort-finalize|ckpt.finalize=abort@1"
+)
+
+foreach(scenario ${scenarios})
+  string(REPLACE "|" ";" parts ${scenario})
+  list(GET parts 0 name)
+  list(GET parts 1 spec)
+  set(out ${WORK_DIR}/chaos_${name}.tsv)
+  file(REMOVE ${out})
+  file(REMOVE_RECURSE ${out}.ckpt)
+
+  # First run: must die with the fault injector's abort exit code (77).
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env SIMRANK_FAULTS=${spec}
+            ${CLI} allpairs ${allpairs_args} --out=${out}
+    RESULT_VARIABLE code OUTPUT_VARIABLE run_out ERROR_VARIABLE run_err)
+  if(NOT code EQUAL 77)
+    message(FATAL_ERROR "${name}: expected abort exit 77, got ${code}\n"
+                        "${run_out}\n${run_err}")
+  endif()
+  if(EXISTS ${out} AND NOT name STREQUAL "abort-finalize")
+    message(FATAL_ERROR "${name}: output appeared despite mid-run abort")
+  endif()
+
+  # Resume: picks up from the last durable chunk and completes.
+  run_checked(${CLI} allpairs ${allpairs_args} --out=${out} --resume)
+
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${golden} ${out} RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${name}: resumed output differs from golden run")
+  endif()
+  if(EXISTS ${out}.ckpt)
+    message(FATAL_ERROR "${name}: checkpoint not removed after success")
+  endif()
+  file(REMOVE ${out})
+  message(STATUS "chaos scenario ${name} passed")
+endforeach()
+
+# Double-kill: abort an already-resumed run at a later point, resume
+# again. Exercises resume-of-a-resume.
+set(out ${WORK_DIR}/chaos_double.tsv)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SIMRANK_FAULTS=ckpt.chunk.write=abort@3
+          ${CLI} allpairs ${allpairs_args} --out=${out}
+  RESULT_VARIABLE code OUTPUT_VARIABLE o ERROR_VARIABLE e)
+if(NOT code EQUAL 77)
+  message(FATAL_ERROR "double-kill first run: expected 77, got ${code}\n${e}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SIMRANK_FAULTS=ckpt.manifest.write=abort@4
+          ${CLI} allpairs ${allpairs_args} --out=${out} --resume
+  RESULT_VARIABLE code OUTPUT_VARIABLE o ERROR_VARIABLE e)
+if(NOT code EQUAL 77)
+  message(FATAL_ERROR "double-kill second run: expected 77, got ${code}\n${e}")
+endif()
+run_checked(${CLI} allpairs ${allpairs_args} --out=${out} --resume)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${golden} ${out} RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "double-kill: resumed output differs from golden run")
+endif()
+file(REMOVE ${out})
+message(STATUS "chaos scenario double-kill passed")
+
+# Soft faults: transient injected write errors must be retried away — the
+# run succeeds end to end — and the obs snapshot must record the firings.
+set(out ${WORK_DIR}/chaos_soft.tsv)
+set(obs ${WORK_DIR}/chaos_soft_obs.json)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "SIMRANK_FAULTS=io.atomic.write=error@2,io.atomic.sync=error@5"
+          ${CLI} allpairs ${allpairs_args} --out=${out} --obs-json=${obs}
+  RESULT_VARIABLE code OUTPUT_VARIABLE o ERROR_VARIABLE e)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "soft-fault run should retry to success, got ${code}\n"
+                      "${o}\n${e}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${golden} ${out} RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "soft-fault: output differs from golden run")
+endif()
+file(READ ${obs} obs_json)
+if(NOT obs_json MATCHES "faults\\.injected")
+  message(FATAL_ERROR "obs snapshot has no faults.injected counter:\n"
+                      "${obs_json}")
+endif()
+string(REGEX MATCH "\"faults\\.injected\": *0[^0-9]" zero_injected
+       "${obs_json}")
+if(zero_injected)
+  message(FATAL_ERROR "soft faults never fired:\n${obs_json}")
+endif()
+file(REMOVE ${out} ${obs})
+
+file(REMOVE ${golden} ${graph} ${index})
+message(STATUS "chaos test passed")

@@ -38,5 +38,37 @@ if(NOT EXISTS ${shard})
 endif()
 file(REMOVE ${shard})
 
+# --- exit-code contract (documented in simrank_cli.cc's header) ---------
+
+function(expect_code expected)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL ${expected})
+    message(FATAL_ERROR
+            "expected exit ${expected}, got ${code}: ${ARGN}\n${out}\n${err}")
+  endif()
+  if(NOT code EQUAL 0 AND NOT err MATCHES "error:")
+    message(FATAL_ERROR "failure did not report to stderr: ${ARGN}\n${err}")
+  endif()
+endfunction()
+
+# Usage errors -> 2.
+expect_code(2 ${CLI} frobnicate)
+expect_code(2 ${CLI} allpairs ${graph})
+expect_code(2 ${CLI} generate --family=nosuch --out=${WORK_DIR}/x.bin)
+
+# IO errors -> 3.
+expect_code(3 ${CLI} stats ${WORK_DIR}/does_not_exist.bin)
+expect_code(3 ${CLI} allpairs ${graph} --index=${index}
+            --out=${WORK_DIR}/nosuchdir/shard.tsv)
+# Resuming with no checkpoint on disk is an IO error, not a fresh start.
+expect_code(3 ${CLI} allpairs ${graph} --index=${index}
+            --out=${WORK_DIR}/cli_smoke_fresh.tsv --resume)
+
+# Corrupted input -> 4.
+file(WRITE ${WORK_DIR}/cli_smoke_garbage.bin "this is not a graph file")
+expect_code(4 ${CLI} stats ${WORK_DIR}/cli_smoke_garbage.bin)
+file(REMOVE ${WORK_DIR}/cli_smoke_garbage.bin)
+
 file(REMOVE ${graph} ${index})
 message(STATUS "cli smoke test passed")

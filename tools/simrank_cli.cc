@@ -9,6 +9,15 @@
 //
 // Graphs are loaded from the library binary format when the path ends in
 // .bin, otherwise parsed as a whitespace edge list (SNAP format).
+//
+// Exit codes (stable; scripts may branch on them):
+//   0  success
+//   1  internal/unclassified error
+//   2  usage error (bad flags, unknown command, invalid/missing argument)
+//   3  IO error (file missing, unwritable, disk trouble)
+//   4  corruption (file exists but fails validation)
+//   5  deadline exceeded / degraded service
+// Every failure also prints the full Status to stderr.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +30,8 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "graph/traversal.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "simrank/simrank.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -74,9 +85,35 @@ class Flags {
   std::vector<std::string> positional_;
 };
 
+// The documented exit-code mapping (see the file header). Argument-shaped
+// codes collapse to the usage code: whether "--vertex=9999999" is caught
+// by flag validation or deep in the library, the caller sees the same 2.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      return 2;
+    case StatusCode::kIoError:
+      return 3;
+    case StatusCode::kCorruption:
+      return 4;
+    case StatusCode::kDeadlineExceeded:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
+
+// Flag-level usage errors, before any Status exists.
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
-  return 1;
+  return 2;
 }
 
 int Usage() {
@@ -94,7 +131,15 @@ int Usage() {
                "  exact      GRAPH --vertex=V [--k=20]  (deterministic "
                "oracle)\n"
                "  allpairs   GRAPH --out=PATH.tsv [--index=PATH]\n"
-               "             [--partition=I --partitions=M] [--threads=T]\n");
+               "             [--partition=I --partitions=M] [--threads=T]\n"
+               "             [--resume] [--checkpoint-interval=Q]\n"
+               "             [--keep-checkpoint]\n"
+               "global flags:\n"
+               "  --obs-json=PATH  write an obs metrics snapshot (JSON,\n"
+               "                   simrank-obs-v1) after the command runs,\n"
+               "                   even when it fails\n"
+               "exit codes: 0 ok, 1 internal, 2 usage, 3 io, 4 corruption,\n"
+               "            5 deadline/degraded\n");
   return 2;
 }
 
@@ -152,7 +197,7 @@ int CmdGenerate(const Flags& flags) {
       out.size() > 4 && out.substr(out.size() - 4) == ".bin"
           ? SaveBinary(graph, out)
           : SaveEdgeListText(graph, out);
-  if (!status.ok()) return Fail(status.ToString());
+  if (!status.ok()) return Fail(status);
   std::printf("wrote %s: %s\n", out.c_str(),
               ToString(ComputeGraphStats(graph)).c_str());
   return 0;
@@ -161,7 +206,7 @@ int CmdGenerate(const Flags& flags) {
 int CmdStats(const Flags& flags) {
   if (flags.positional().empty()) return Usage();
   auto graph = LoadGraph(flags.positional()[0]);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  if (!graph.ok()) return Fail(graph.status());
   std::printf("%s\n", ToString(ComputeGraphStats(*graph)).c_str());
   const ComponentStats cc = WeaklyConnectedComponents(*graph);
   std::printf("components=%llu largest=%llu\n",
@@ -178,7 +223,7 @@ int CmdPreprocess(const Flags& flags) {
   const std::string index_path = flags.GetString("index");
   if (index_path.empty()) return Fail("--index is required");
   auto graph = LoadGraph(flags.positional()[0]);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  if (!graph.ok()) return Fail(graph.status());
   TopKSearcher searcher(*graph, OptionsFromFlags(flags));
   WallTimer timer;
   searcher.BuildIndex();
@@ -187,7 +232,7 @@ int CmdPreprocess(const Flags& flags) {
               FormatDuration(searcher.diagonal_seconds()).c_str(),
               FormatBytes(searcher.PreprocessBytes()).c_str());
   const Status status = SaveSearcherIndex(searcher, index_path);
-  if (!status.ok()) return Fail(status.ToString());
+  if (!status.ok()) return Fail(status);
   std::printf("index written to %s\n", index_path.c_str());
   return 0;
 }
@@ -214,13 +259,13 @@ Result<std::unique_ptr<service::QueryEngine>> MakeEngine(
 int CmdQuery(const Flags& flags) {
   if (flags.positional().empty()) return Usage();
   auto graph = LoadGraph(flags.positional()[0]);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  if (!graph.ok()) return Fail(graph.status());
   auto engine = MakeEngine(*graph, flags, service::EngineOptions{});
-  if (!engine.ok()) return Fail(engine.status().ToString());
+  if (!engine.ok()) return Fail(engine.status());
   const Vertex vertex = static_cast<Vertex>(flags.GetInt("vertex", 0));
   auto response =
       (*engine)->Query(service::QueryRequest::ForVertex(vertex));
-  if (!response.ok()) return Fail(response.status().ToString());
+  if (!response.ok()) return Fail(response.status());
   PrintRanking(response->top);
   std::printf(
       "%.2f ms, %llu candidates, %llu refined\n",
@@ -233,7 +278,7 @@ int CmdQuery(const Flags& flags) {
 int CmdPair(const Flags& flags) {
   if (flags.positional().empty()) return Usage();
   auto graph = LoadGraph(flags.positional()[0]);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  if (!graph.ok()) return Fail(graph.status());
   const Vertex u = static_cast<Vertex>(flags.GetInt("u", 0));
   const Vertex v = static_cast<Vertex>(flags.GetInt("v", 0));
   if (u >= graph->NumVertices() || v >= graph->NumVertices()) {
@@ -263,7 +308,7 @@ int CmdPair(const Flags& flags) {
 int CmdExact(const Flags& flags) {
   if (flags.positional().empty()) return Usage();
   auto graph = LoadGraph(flags.positional()[0]);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  if (!graph.ok()) return Fail(graph.status());
   const Vertex vertex = static_cast<Vertex>(flags.GetInt("vertex", 0));
   if (vertex >= graph->NumVertices()) return Fail("--vertex out of range");
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 20));
@@ -289,29 +334,45 @@ int CmdAllPairs(const Flags& flags) {
   const std::string out = flags.GetString("out");
   if (out.empty()) return Fail("--out is required");
   auto graph = LoadGraph(flags.positional()[0]);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  if (!graph.ok()) return Fail(graph.status());
   service::EngineOptions engine_options;
   engine_options.num_threads = 1;  // --threads overrides inside MakeEngine
   engine_options.enable_cache = false;  // every vertex queried exactly once
   auto engine = MakeEngine(*graph, flags, std::move(engine_options));
-  if (!engine.ok()) return Fail(engine.status().ToString());
-  AllPairsOptions all;
-  all.partition = static_cast<uint32_t>(flags.GetInt("partition", 0));
-  all.num_partitions =
+  if (!engine.ok()) return Fail(engine.status());
+  AllPairsFileOptions all;
+  all.run.partition = static_cast<uint32_t>(flags.GetInt("partition", 0));
+  all.run.num_partitions =
       static_cast<uint32_t>(flags.GetInt("partitions", 1));
-  all.progress = [](uint64_t done) {
+  all.run.progress = [](uint64_t done) {
     std::fprintf(stderr, "\r%llu queries done",
                  static_cast<unsigned long long>(done));
   };
-  auto shard = (*engine)->RunAllPairs(all);
-  if (!shard.ok()) return Fail(shard.status().ToString());
+  all.checkpoint_queries =
+      flags.GetInt("checkpoint-interval", all.checkpoint_queries);
+  all.resume = flags.GetBool("resume");
+  all.keep_checkpoint = flags.GetBool("keep-checkpoint");
+  auto report = (*engine)->RunAllPairsToFile(all, out);
+  if (!report.ok()) return Fail(report.status());
   std::fprintf(stderr, "\n");
-  const Status status = WriteShardTsv(*shard, out);
-  if (!status.ok()) return Fail(status.ToString());
-  std::printf("partition %u/%u: %zu queries in %s -> %s\n", all.partition,
-              all.num_partitions, shard->rankings.size(),
-              FormatDuration(shard->seconds).c_str(), out.c_str());
+  std::printf("partition %u/%u: %llu queries (%llu resumed) in %s -> %s\n",
+              all.run.partition, all.run.num_partitions,
+              static_cast<unsigned long long>(report->queries),
+              static_cast<unsigned long long>(report->resumed_queries),
+              FormatDuration(report->seconds).c_str(), out.c_str());
   return 0;
+}
+
+int RunCommand(const std::string& command, const Flags& flags) {
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "preprocess") return CmdPreprocess(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "pair") return CmdPair(flags);
+  if (command == "exact") return CmdExact(flags);
+  if (command == "allpairs") return CmdAllPairs(flags);
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+  return Usage();
 }
 
 }  // namespace
@@ -320,12 +381,17 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "preprocess") return CmdPreprocess(flags);
-  if (command == "query") return CmdQuery(flags);
-  if (command == "pair") return CmdPair(flags);
-  if (command == "exact") return CmdExact(flags);
-  if (command == "allpairs") return CmdAllPairs(flags);
-  return Usage();
+  const int code = RunCommand(command, flags);
+  // The snapshot is written even on failure: chaos tests read faults.*
+  // counters from runs that (deliberately) errored out.
+  const std::string obs_json = flags.GetString("obs-json");
+  if (!obs_json.empty()) {
+    const Status status =
+        obs::WriteJson(obs_json, obs::MetricsRegistry::Default().Snapshot());
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      if (code == 0) return ExitCodeFor(status);
+    }
+  }
+  return code;
 }

@@ -104,6 +104,26 @@ void BM_MonteCarloSinglePair(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloSinglePair)->Arg(10)->Arg(100)->Arg(1000);
 
+// Profile construction is the per-query preprocessing step: num_walks
+// walks advanced num_steps times through the batched kernel, with a
+// counter snapshot per step. Tracks the kernel's 3-pass stepping + the
+// dead-tail truncation (empty_from_).
+void BM_ProfileBuild(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  SimRankParams params;
+  MonteCarloSimRank mc(graph, params,
+                       UniformDiagonal(graph.NumVertices(), params.decay));
+  Rng rng(12);
+  Vertex v = 0;
+  for (auto _ : state) {
+    v = (v + 37) % graph.NumVertices();
+    benchmark::DoNotOptimize(
+        mc.BuildProfile(v, static_cast<uint32_t>(state.range(0)), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProfileBuild)->Arg(100)->Arg(1000);
+
 void BM_ProfileEstimate(benchmark::State& state) {
   const DirectedGraph& graph = BenchGraph();
   SimRankParams params;
@@ -212,6 +232,36 @@ void RunTopKQuery(benchmark::State& state) {
 // query.latency_ns histogram are live.
 void BM_TopKQuery(benchmark::State& state) { RunTopKQuery(state); }
 BENCHMARK(BM_TopKQuery);
+
+// Same rotating queries through the deterministic fan-out path
+// (parallel_candidates = Arg). Arg(1) runs the fan-out algorithm inline
+// (no pool) — it isolates the algorithmic delta of the parallel path;
+// larger args add worker threads. On a single hardware core the
+// multi-thread variants measure overhead, not speedup; EXPERIMENTS.md
+// records them for context only.
+void BM_TopKQueryParallel(benchmark::State& state) {
+  static const TopKSearcher* searchers[3] = {nullptr, nullptr, nullptr};
+  const int slot = state.range(0) == 1 ? 0 : state.range(0) == 2 ? 1 : 2;
+  if (searchers[slot] == nullptr) {
+    SearchOptions options;
+    options.parallel_candidates = static_cast<uint32_t>(state.range(0));
+    auto* s = new TopKSearcher(BenchGraph(), options);
+    s->BuildIndex();
+    searchers[slot] = s;
+  }
+  const TopKSearcher& searcher = *searchers[slot];
+  const std::vector<Vertex>& queries = BenchQueryVertices();
+  QueryWorkspace workspace(searcher);
+  size_t i = 0;
+  for (auto _ : state) {
+    const QueryResult result =
+        searcher.Query(queries[i % queries.size()], workspace);
+    benchmark::DoNotOptimize(result.top.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopKQueryParallel)->Arg(1)->Arg(2)->Arg(4);
 
 // Baseline: obs disabled for the duration — measures the library without
 // instrumentation. EXPERIMENTS.md tracks BM_TopKQuery vs this (must stay

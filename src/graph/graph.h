@@ -79,6 +79,14 @@ class DirectedGraph {
     return nbrs[rng.UniformIndex(static_cast<uint32_t>(nbrs.size()))];
   }
 
+  /// Raw in-CSR arrays for the batched walk kernel (simrank/walk_kernel.h):
+  /// offsets has n+1 entries, targets has m. The kernel needs the arrays
+  /// directly so it can software-prefetch the offset row and neighbor slab
+  /// of upcoming walks while resolving the current one — span-per-vertex
+  /// accessors would re-derive both pointers per step.
+  const uint64_t* InOffsetsData() const { return in_offsets_.data(); }
+  const Vertex* InTargetsData() const { return in_targets_.data(); }
+
   /// Materializes the edge list (ordered by source, then target).
   std::vector<Edge> Edges() const;
 

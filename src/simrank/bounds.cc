@@ -71,9 +71,7 @@ GammaTable GammaTable::BuildMonteCarlo(const DirectedGraph& graph,
     WalkCounter counter(num_walks);
     for (uint32_t t = 0; t < params.num_steps; ++t) {
       counter.Clear();
-      for (Vertex position : walks.positions()) {
-        if (position != kNoVertex) counter.Add(position);
-      }
+      counter.AddAll(walks.live());
       // mu = sum_w D_ww (count(w)/R)^2, gamma = sqrt(mu) (Algorithm 3).
       double mu = 0.0;
       counter.ForEach([&](Vertex w, uint32_t count) {
@@ -175,9 +173,7 @@ std::vector<double> ComputeL1Beta(const DirectedGraph& graph,
   const double inv_walks = 1.0 / static_cast<double>(num_walks);
   for (uint32_t t = 0; t < steps; ++t) {
     counter.Clear();
-    for (Vertex position : walks.positions()) {
-      if (position != kNoVertex) counter.Add(position);
-    }
+    counter.AddAll(walks.live());
     counter.ForEach([&](Vertex w, uint32_t count) {
       const uint32_t d = distances.Distance(w);
       if (d >= rows) return;  // cannot affect beta(0..max_distance)

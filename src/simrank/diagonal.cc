@@ -68,9 +68,7 @@ double DiagonalScoreMonteCarlo(const DirectedGraph& graph,
   double decay_pow = 1.0;
   for (uint32_t t = 0; t < params.num_steps; ++t) {
     counter.Clear();
-    for (Vertex position : walks.positions()) {
-      if (position != kNoVertex) counter.Add(position);
-    }
+    counter.AddAll(walks.live());
     double term = 0.0;
     counter.ForEach([&](Vertex w, uint32_t count) {
       term += diagonal[w] * static_cast<double>(count) * count;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "simrank/walk_kernel.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -21,15 +22,16 @@ FogarasRaczIndex::FogarasRaczIndex(const DirectedGraph& graph,
   WallTimer timer;
   next_.resize(static_cast<size_t>(num_fingerprints_) * num_steps_ * n_);
   // One deterministic stream per (sample, step) slice so builds are
-  // reproducible under any thread count.
+  // reproducible under any thread count. Each slice is one bulk
+  // SampleInNeighbors pass over the identity row (one draw per vertex with
+  // in-links, in vertex order — the same stream the scalar loop consumed).
+  std::vector<Vertex> identity(n_);
+  for (size_t v = 0; v < n_; ++v) identity[v] = static_cast<Vertex>(v);
   ParallelFor(pool, 0, static_cast<size_t>(num_fingerprints_) * num_steps_,
               [&](size_t slice) {
                 Rng rng(MixSeeds(seed, slice));
-                Vertex* row = next_.data() + slice * n_;
-                for (size_t v = 0; v < n_; ++v) {
-                  row[v] =
-                      graph_.RandomInNeighbor(static_cast<Vertex>(v), rng);
-                }
+                SampleInNeighbors(graph_, identity, rng,
+                                  next_.data() + slice * n_);
               });
   preprocess_seconds_ = timer.ElapsedSeconds();
 }

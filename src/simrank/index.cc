@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "simrank/walk_kernel.h"
 #include "util/counter.h"
 #include "util/rng.h"
 
@@ -12,42 +13,39 @@ namespace {
 
 // Runs Algorithm 4 for one vertex: appends the pivot positions selected by
 // witness-walk collisions to `out` (unsorted, may contain duplicates).
+//
+// All P repetitions advance together through the batched kernel: one pivot
+// walk per repetition plus a Q-wide witness block per repetition, slots
+// preserved (StepWalksInPlace) so each witness stays keyed to its
+// repetition. A collision at step t — two of a repetition's witnesses on
+// the same vertex — selects that repetition's pivot position at t.
 void IndexOneVertex(const DirectedGraph& graph, const SimRankParams& params,
                     const IndexParams& index_params, Vertex u, Rng& rng,
                     std::vector<Vertex>& out) {
   const uint32_t steps = params.num_steps;
   const uint32_t q = index_params.witness_walks;
-  std::vector<Vertex> pivot(steps, kNoVertex);
-  std::vector<Vertex> witnesses(q);
+  const uint32_t reps = index_params.repetitions;
+  std::vector<Vertex> pivots(reps, u);
+  std::vector<Vertex> witnesses(static_cast<size_t>(reps) * q, u);
   WalkCounter collisions(q);
-  for (uint32_t rep = 0; rep < index_params.repetitions; ++rep) {
-    // Pivot walk W0: pivot[t] = position after t steps (t = 0 is u itself;
-    // the algorithm inspects t = 1..T-1, matching "for t = 1,...,T").
-    Vertex position = u;
-    pivot[0] = u;
-    for (uint32_t t = 1; t < steps; ++t) {
-      position = position == kNoVertex ? kNoVertex
-                                       : graph.RandomInNeighbor(position, rng);
-      pivot[t] = position;
-    }
-    // Witness walks W1..WQ advance in lock-step; a collision at step t
-    // (two witnesses on the same vertex) selects pivot[t].
-    std::fill(witnesses.begin(), witnesses.end(), u);
-    for (uint32_t t = 1; t < steps; ++t) {
+  // The algorithm inspects t = 1..T-1, matching "for t = 1,...,T".
+  for (uint32_t t = 1; t < steps; ++t) {
+    StepWalksInPlace(graph, pivots, rng);
+    const uint32_t witnesses_alive = StepWalksInPlace(graph, witnesses, rng);
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      const Vertex pivot = pivots[rep];
+      if (pivot == kNoVertex) continue;  // dead pivot selects nothing
+      const Vertex* block = witnesses.data() + static_cast<size_t>(rep) * q;
       collisions.Clear();
-      bool any_alive = false;
       bool collided = false;
-      for (Vertex& w : witnesses) {
-        if (w == kNoVertex) continue;
-        w = graph.RandomInNeighbor(w, rng);
-        if (w == kNoVertex) continue;
-        any_alive = true;
-        collisions.Add(w);
-        if (collisions.Count(w) >= 2) collided = true;
+      for (uint32_t j = 0; j < q && !collided; ++j) {
+        if (block[j] == kNoVertex) continue;
+        collisions.Add(block[j]);
+        if (collisions.Count(block[j]) >= 2) collided = true;
       }
-      if (collided && pivot[t] != kNoVertex) out.push_back(pivot[t]);
-      if (!any_alive) break;
+      if (collided) out.push_back(pivot);
     }
+    if (witnesses_alive == 0) break;
   }
 }
 

@@ -1,8 +1,10 @@
 #include "simrank/monte_carlo.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "simrank/walk_kernel.h"
 
 namespace simrank {
 
@@ -40,37 +42,39 @@ WalkSet::WalkSet(const DirectedGraph& graph, Vertex origin, uint32_t num_walks)
 }
 
 void WalkSet::Advance(Rng& rng) {
-  for (Vertex& position : positions_) {
-    if (position == kNoVertex) continue;
-    position = graph_.RandomInNeighbor(position, rng);
-    if (position == kNoVertex) --live_count_;
-  }
+  live_count_ = AdvanceWalksCompact(graph_, positions_, live_count_, rng);
+}
+
+uint32_t WalkSet::AdvanceCounted(Rng& rng, WalkCounter& counter) {
+  live_count_ =
+      AdvanceWalksCompactCounted(graph_, positions_, live_count_, rng, counter);
+  return live_count_;
 }
 
 WalkProfile::WalkProfile(const DirectedGraph& graph,
                          const SimRankParams& params, Vertex origin,
                          uint32_t num_walks, Rng& rng)
-    : origin_(origin), num_walks_(num_walks) {
+    : origin_(origin), num_walks_(num_walks), num_steps_(params.num_steps) {
   params.Validate();
   SIMRANK_CHECK_GE(num_walks, 1u);
   ProfilesBuiltCounter().Add(1);
-  steps_.reserve(params.num_steps);
+  steps_.reserve(num_steps_);
   WalkSet walks(graph, origin, num_walks);
-  for (uint32_t t = 0; t < params.num_steps; ++t) {
-    WalkCounter counter(num_walks);
-    for (Vertex position : walks.positions()) {
-      if (position != kNoVertex) counter.Add(position);
-    }
+  // Step 0 is counted directly (all walks sit at the origin); every later
+  // step's counting is fused into the kernel's gather pass. Sizing the
+  // step-t counter by the step-(t-1) live count over-provisions slightly
+  // for shrinking populations but guarantees the kernel's no-growth
+  // capacity contract.
+  // Step 0 holds a single distinct key, so a minimal table suffices.
+  WalkCounter first(1);
+  first.AddCount(origin, walks.live_count());
+  steps_.push_back(std::move(first));
+  for (uint32_t t = 1; t < num_steps_; ++t) {
+    WalkCounter counter(walks.live_count());
+    if (walks.AdvanceCounted(rng, counter) == 0) break;  // rest is empty
     steps_.push_back(std::move(counter));
-    if (t + 1 < params.num_steps) {
-      if (walks.AllDead()) {
-        // Remaining steps have empty measures.
-        steps_.resize(params.num_steps, WalkCounter(1));
-        break;
-      }
-      walks.Advance(rng);
-    }
   }
+  empty_from_ = static_cast<uint32_t>(steps_.size());
 }
 
 MonteCarloSimRank::MonteCarloSimRank(const DirectedGraph& graph,
@@ -99,14 +103,16 @@ double MonteCarloSimRank::EstimateAgainstProfile(const WalkProfile& profile,
   WalkSet walks(graph_, v, num_walks);
   double score = 0.0;
   double decay_pow = 1.0;
-  const uint32_t steps = params_.num_steps;
+  // Steps at or past the profile's empty_from contribute alpha = 0, so the
+  // candidate's walks stop as soon as either endpoint's measure is empty.
+  const uint32_t steps = std::min(params_.num_steps, profile.empty_from());
   for (uint32_t t = 0; t < steps; ++t) {
     // sum_w c^t D_ww alpha(w) beta(w) / (R_u R_v), Eq. (14): iterate this
-    // endpoint's walks one by one (each contributes beta-weight 1).
+    // endpoint's live walks one by one (each contributes beta-weight 1).
+    const WalkCounter& measure = profile.MeasureAt(t);
     double term = 0.0;
-    for (Vertex position : walks.positions()) {
-      if (position == kNoVertex) continue;
-      const uint32_t alpha = profile.CountAt(t, position);
+    for (Vertex position : walks.live()) {
+      const uint32_t alpha = measure.Count(position);
       if (alpha != 0) term += diagonal_[position] * alpha;
     }
     score += decay_pow * term * normalizer;

@@ -2,6 +2,7 @@
 #define SIMRANK_SIMRANK_MONTE_CARLO_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -14,6 +15,10 @@ namespace simrank {
 /// A set of R in-link random walks advancing in lock-step. Walks that reach
 /// a vertex without in-links die (position kNoVertex) — their P-column is
 /// zero.
+///
+/// Advance runs on the batched kernel (simrank/walk_kernel.h): dead walks
+/// are swap-compacted behind the live prefix, so stepping and scoring loop
+/// over live() and never rescan tombstones.
 class WalkSet {
  public:
   /// Starts `num_walks` walks at `origin`.
@@ -22,12 +27,28 @@ class WalkSet {
   /// Advances every live walk one step (uniform random in-neighbor).
   void Advance(Rng& rng);
 
-  /// Current positions; dead walks report kNoVertex.
+  /// Advance that also tallies every post-step position into `counter`
+  /// (exactly counter.AddAll(live()) run after Advance, but fused into the
+  /// kernel's gather pass so the counting hides under the step's cache
+  /// misses). `counter` must be presized for at least live_count() distinct
+  /// keys. Returns the new live count.
+  uint32_t AdvanceCounted(Rng& rng, WalkCounter& counter);
+
+  /// Current positions; dead walks report kNoVertex. Live walks occupy the
+  /// prefix [0, live_count()); dead slots are compacted to the tail.
   const std::vector<Vertex>& positions() const { return positions_; }
+
+  /// The live walks only (contiguous prefix). Walk order within the span is
+  /// not meaningful — compaction reorders it.
+  std::span<const Vertex> live() const {
+    return {positions_.data(), live_count_};
+  }
 
   uint32_t num_walks() const {
     return static_cast<uint32_t>(positions_.size());
   }
+
+  uint32_t live_count() const { return live_count_; }
 
   /// True once every walk has died.
   bool AllDead() const { return live_count_ == 0; }
@@ -50,24 +71,42 @@ class WalkProfile {
               Vertex origin, uint32_t num_walks, Rng& rng);
 
   uint32_t num_walks() const { return num_walks_; }
-  uint32_t num_steps() const { return static_cast<uint32_t>(steps_.size()); }
+  uint32_t num_steps() const { return num_steps_; }
   Vertex origin() const { return origin_; }
+
+  /// First step at which every walk had died: steps [empty_from(),
+  /// num_steps()) have all-zero measures and are not materialized, so a
+  /// profile whose walks die early allocates nothing for the dead tail.
+  /// Equal to num_steps() when some walk survives the whole horizon.
+  uint32_t empty_from() const { return empty_from_; }
 
   /// Number of the profile's walks located at `w` after `t` steps.
   uint32_t CountAt(uint32_t t, Vertex w) const {
-    return steps_[t].Count(w);
+    SIMRANK_CHECK_LT(t, num_steps_);
+    return t < empty_from_ ? steps_[t].Count(w) : 0;
+  }
+
+  /// Direct access to step t's measure, for loops that look up many
+  /// vertices at one step (hoists CountAt's per-call bounds branches out
+  /// of the estimator's inner loop). Requires t < empty_from().
+  const WalkCounter& MeasureAt(uint32_t t) const {
+    SIMRANK_CHECK_LT(t, empty_from_);
+    return steps_[t];
   }
 
   /// Iterates (vertex, count) pairs of step t.
   template <typename Fn>
   void ForEachAt(uint32_t t, Fn&& fn) const {
-    steps_[t].ForEach(fn);
+    SIMRANK_CHECK_LT(t, num_steps_);
+    if (t < empty_from_) steps_[t].ForEach(fn);
   }
 
  private:
   Vertex origin_;
   uint32_t num_walks_;
-  std::vector<WalkCounter> steps_;
+  uint32_t num_steps_;
+  uint32_t empty_from_ = 0;
+  std::vector<WalkCounter> steps_;  // size empty_from_, not num_steps_
 };
 
 /// Monte-Carlo single-pair SimRank (Algorithm 1): estimates the truncated

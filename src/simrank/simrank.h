@@ -45,6 +45,7 @@
 #include "service/result_cache.h"    // IWYU pragma: export
 #include "simrank/surfer_pair.h"     // IWYU pragma: export
 #include "simrank/top_k_searcher.h"  // IWYU pragma: export
+#include "simrank/walk_kernel.h"     // IWYU pragma: export
 #include "simrank/yu_all_pairs.h"    // IWYU pragma: export
 
 #endif  // SIMRANK_SIMRANK_SIMRANK_H_

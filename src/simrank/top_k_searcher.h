@@ -67,6 +67,22 @@ struct SearchOptions {
   /// absorbs the noise of the small-R pass.
   double adaptive_margin = 0.3;
 
+  /// Intra-query parallelism. 0 (default) keeps the serial candidate loop:
+  /// one RNG stream threaded through the candidates in enumeration order,
+  /// with the adaptive cutoff evolving as the collector fills — the exact
+  /// path the engine-vs-kernel golden tests pin down. N >= 1 switches to
+  /// the deterministic fan-out path: every surviving candidate is scored
+  /// with its own (query-seed, candidate)-derived streams, the rough pass
+  /// and the refinement each run as one ParallelFor over an internal pool
+  /// of N threads (N == 1 runs inline), and the adaptive cutoff is fixed
+  /// at the k-th largest rough estimate. Results are bit-identical for any
+  /// N >= 1 — only wall-clock changes — but differ from the serial path
+  /// (different streams, static cutoff). See docs/PERFORMANCE.md.
+  uint32_t parallel_candidates = 0;
+
+  /// Upper bound Validate() enforces on parallel_candidates.
+  static constexpr uint32_t kMaxParallelCandidates = 256;
+
   IndexParams index_params;
 
   /// If true, the constructor estimates the diagonal correction matrix D
@@ -251,6 +267,17 @@ class TopKSearcher {
   std::unique_ptr<QueryWorkspace> AcquireWorkspace() const;
   void ReleaseWorkspace(std::unique_ptr<QueryWorkspace> workspace) const;
 
+  /// The fan-out path behind options_.parallel_candidates >= 1: serial
+  /// bound pruning collects the survivors, then the rough and refine
+  /// passes each ParallelFor over intra_pool_ with per-candidate streams,
+  /// and the collector is filled serially in enumeration order.
+  void EvaluateCandidatesParallel(Vertex query, QueryWorkspace& workspace,
+                                  const WalkProfile& profile,
+                                  const std::vector<double>& beta, uint32_t k,
+                                  double threshold, uint32_t refine_walks,
+                                  QueryStats& stats,
+                                  TopKCollector& collector) const;
+
   const DirectedGraph& graph_;
   SearchOptions options_;
   std::vector<double> diagonal_;
@@ -259,6 +286,11 @@ class TopKSearcher {
   /// is set and no explicit diagonal was supplied).
   bool diagonal_pending_ = false;
   std::unique_ptr<MonteCarloSimRank> estimator_;
+  /// Owned pool for intra-query candidate fan-out; created only when
+  /// options_.parallel_candidates > 1. Deliberately separate from any
+  /// caller-supplied pool (service workers execute queries on pool tasks,
+  /// and ParallelFor must not run on the pool of its calling task).
+  std::unique_ptr<ThreadPool> intra_pool_;
   std::unique_ptr<GammaTable> gamma_;
   std::unique_ptr<CandidateIndex> index_;
   bool index_built_ = false;

@@ -1,0 +1,249 @@
+#include "simrank/walk_kernel.h"
+
+#include <cstddef>
+
+namespace simrank {
+
+namespace {
+
+inline void PrefetchRead(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/1);
+#else
+  (void)address;
+#endif
+}
+
+}  // namespace
+
+namespace {
+
+// Shared body of AdvanceWalksCompact{,Counted}: `counter`, when non-null,
+// tallies each block's freshly gathered positions. Inlined into both entry
+// points so the uncounted path carries no per-block branch in practice.
+inline uint32_t AdvanceWalksCompactImpl(const DirectedGraph& graph,
+                                        std::span<Vertex> positions,
+                                        uint32_t live, Rng& rng,
+                                        WalkCounter* counter) {
+  SIMRANK_CHECK_LE(live, positions.size());
+  const uint64_t* offsets = graph.InOffsetsData();
+  const Vertex* targets = graph.InTargetsData();
+  // Tiny populations can't amortize the batch machinery (stack lanes,
+  // prefetch sweeps): step them with the plain scalar loop. Draw-for-draw
+  // identical to the batched path — one UniformIndex per surviving walk in
+  // slot order — so the cutoff is invisible to callers.
+  if (live <= 2 * kWalkPrefetchDistance) {
+    uint32_t i = 0;
+    while (i < live) {
+      const Vertex p = positions[i];
+      const uint64_t lo = offsets[p];
+      const uint64_t hi = offsets[p + 1];
+      if (lo == hi) {
+        --live;
+        positions[i] = positions[live];
+        positions[live] = kNoVertex;
+        continue;
+      }
+      const Vertex next =
+          targets[lo + rng.UniformIndex(static_cast<uint32_t>(hi - lo))];
+      positions[i] = next;
+      if (counter != nullptr) counter->Add(next);
+      ++i;
+    }
+    return live;
+  }
+  uint64_t base[kWalkBatchSize];
+  uint32_t bound[kWalkBatchSize];
+  uint32_t draw[kWalkBatchSize];
+  // Fused counting runs one block behind the gather: block k's positions
+  // are tallied after block k+1's target prefetch sweep has been issued,
+  // so the L1-resident table probes execute while k+1's misses resolve
+  // (counting straight after k's own sweep would stall on those lines).
+  uint32_t pending_start = 0;
+  uint32_t pending_lanes = 0;
+  uint32_t i = 0;
+  while (i < live) {
+    // Pass 1: resolve in-offset rows for up to one batch of walks starting
+    // at slot i. A walk standing on an in-degree-0 vertex dies here: the
+    // last live walk is swapped into its slot (and re-resolved), so the
+    // batch lanes map to the contiguous slot range [block_start, i).
+    const uint32_t block_start = i;
+    uint32_t lanes = 0;
+    while (i < live && lanes < kWalkBatchSize) {
+      const uint32_t ahead = i + kWalkPrefetchDistance;
+      if (ahead < live) PrefetchRead(&offsets[positions[ahead]]);
+      const Vertex p = positions[i];
+      const uint64_t lo = offsets[p];
+      const uint64_t hi = offsets[p + 1];
+      if (lo == hi) {
+        --live;
+        positions[i] = positions[live];
+        positions[live] = kNoVertex;
+        continue;
+      }
+      base[lanes] = lo;
+      bound[lanes] = static_cast<uint32_t>(hi - lo);
+      ++lanes;
+      ++i;
+    }
+    if (lanes == 0) break;
+    // Pass 2: one bulk bounded draw per surviving walk, in slot order.
+    rng.UniformIndexBatch({bound, lanes}, draw);
+    // Pass 3: gather the new positions. All target addresses are known
+    // once the draws land, so a dedicated prefetch sweep first puts every
+    // lane's miss in flight at once (bounded by the LFBs, but far more
+    // memory-level parallelism than prefetching a fixed distance ahead
+    // inside the gather loop).
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      PrefetchRead(&targets[base[lane] + draw[lane]]);
+    }
+    // Count the previous block while this block's prefetches land.
+    // Capacity contract: the caller presized the counter for `live`
+    // distinct keys, so per-block growth can never be needed.
+    if (counter != nullptr && pending_lanes > 0) {
+      counter->AddAllPresized({positions.data() + pending_start,
+                               pending_lanes});
+    }
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      positions[block_start + lane] = targets[base[lane] + draw[lane]];
+    }
+    // Cross-step prefetch: the very next thing the caller's next Advance
+    // does with these positions is load their in-offset rows in pass 1.
+    // Requesting the rows now lets those misses resolve during the rest of
+    // this step (remaining blocks, the caller's per-step work) instead of
+    // stalling the next one. Multi-step loops — every WalkSet consumer —
+    // are the common case; for a final step the requests are merely wasted.
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      PrefetchRead(&offsets[positions[block_start + lane]]);
+    }
+    pending_start = block_start;
+    pending_lanes = lanes;
+  }
+  if (counter != nullptr && pending_lanes > 0) {
+    counter->AddAllPresized({positions.data() + pending_start, pending_lanes});
+  }
+  return live;
+}
+
+}  // namespace
+
+uint32_t AdvanceWalksCompact(const DirectedGraph& graph,
+                             std::span<Vertex> positions, uint32_t live,
+                             Rng& rng) {
+  return AdvanceWalksCompactImpl(graph, positions, live, rng, nullptr);
+}
+
+uint32_t AdvanceWalksCompactCounted(const DirectedGraph& graph,
+                                    std::span<Vertex> positions, uint32_t live,
+                                    Rng& rng, WalkCounter& counter) {
+  return AdvanceWalksCompactImpl(graph, positions, live, rng, &counter);
+}
+
+uint32_t StepWalksInPlace(const DirectedGraph& graph,
+                          std::span<Vertex> positions, Rng& rng) {
+  const uint64_t* offsets = graph.InOffsetsData();
+  const Vertex* targets = graph.InTargetsData();
+  uint64_t base[kWalkBatchSize];
+  uint32_t bound[kWalkBatchSize];
+  uint32_t draw[kWalkBatchSize];
+  uint32_t slot[kWalkBatchSize];
+  const size_t n = positions.size();
+  uint32_t alive = 0;
+  size_t i = 0;
+  while (i < n) {
+    // Pass 1 as in AdvanceWalksCompact, but dead walks keep their slot
+    // (kNoVertex tombstone) and each lane remembers which slot it serves.
+    uint32_t lanes = 0;
+    while (i < n && lanes < kWalkBatchSize) {
+      const size_t ahead = i + kWalkPrefetchDistance;
+      if (ahead < n && positions[ahead] != kNoVertex) {
+        PrefetchRead(&offsets[positions[ahead]]);
+      }
+      const Vertex p = positions[i];
+      if (p == kNoVertex) {
+        ++i;
+        continue;
+      }
+      const uint64_t lo = offsets[p];
+      const uint64_t hi = offsets[p + 1];
+      if (lo == hi) {
+        positions[i] = kNoVertex;
+        ++i;
+        continue;
+      }
+      base[lanes] = lo;
+      bound[lanes] = static_cast<uint32_t>(hi - lo);
+      slot[lanes] = static_cast<uint32_t>(i);
+      ++lanes;
+      ++i;
+    }
+    if (lanes == 0) continue;
+    rng.UniformIndexBatch({bound, lanes}, draw);
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      PrefetchRead(&targets[base[lane] + draw[lane]]);
+    }
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      positions[slot[lane]] = targets[base[lane] + draw[lane]];
+    }
+    // Cross-step prefetch of the new positions' offset rows (see
+    // AdvanceWalksCompactImpl).
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      PrefetchRead(&offsets[positions[slot[lane]]]);
+    }
+    alive += lanes;
+  }
+  return alive;
+}
+
+void SampleInNeighbors(const DirectedGraph& graph,
+                       std::span<const Vertex> vertices, Rng& rng,
+                       Vertex* out) {
+  const uint64_t* offsets = graph.InOffsetsData();
+  const Vertex* targets = graph.InTargetsData();
+  uint64_t base[kWalkBatchSize];
+  uint32_t bound[kWalkBatchSize];
+  uint32_t draw[kWalkBatchSize];
+  uint32_t slot[kWalkBatchSize];
+  const size_t n = vertices.size();
+  size_t i = 0;
+  // Aliasing note: each batch reads vertices[] only from its own slot range
+  // (plus prefetch peeks ahead, which tolerate stale values) before writing
+  // out[] for those same slots, so vertices == out is safe.
+  while (i < n) {
+    uint32_t lanes = 0;
+    while (i < n && lanes < kWalkBatchSize) {
+      const size_t ahead = i + kWalkPrefetchDistance;
+      if (ahead < n && vertices[ahead] != kNoVertex) {
+        PrefetchRead(&offsets[vertices[ahead]]);
+      }
+      const Vertex v = vertices[i];
+      if (v == kNoVertex) {
+        out[i] = kNoVertex;
+        ++i;
+        continue;
+      }
+      const uint64_t lo = offsets[v];
+      const uint64_t hi = offsets[v + 1];
+      if (lo == hi) {
+        out[i] = kNoVertex;
+        ++i;
+        continue;
+      }
+      base[lanes] = lo;
+      bound[lanes] = static_cast<uint32_t>(hi - lo);
+      slot[lanes] = static_cast<uint32_t>(i);
+      ++lanes;
+      ++i;
+    }
+    if (lanes == 0) continue;
+    rng.UniformIndexBatch({bound, lanes}, draw);
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      PrefetchRead(&targets[base[lane] + draw[lane]]);
+    }
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      out[slot[lane]] = targets[base[lane] + draw[lane]];
+    }
+  }
+}
+
+}  // namespace simrank

@@ -2,6 +2,7 @@
 #define SIMRANK_UTIL_RNG_H_
 
 #include <cstdint>
+#include <span>
 
 #include "util/check.h"
 
@@ -68,9 +69,33 @@ class Rng {
     return static_cast<uint64_t>(m >> 64);
   }
 
-  /// Uniform 32-bit index in [0, bound); bound must be positive.
+  /// Uniform 32-bit index in [0, bound); bound must be positive. Lemire's
+  /// nearly-divisionless method on 32-bit operands: one 64-bit multiply per
+  /// draw on the fast path; the `% bound` only runs when the low half lands
+  /// in the biased window (probability < bound / 2^32), so the division the
+  /// in-link walk kernel used to pay per step is gone from the hot path.
   uint32_t UniformIndex(uint32_t bound) {
-    return static_cast<uint32_t>(UniformInt(bound));
+    SIMRANK_CHECK_GT(bound, 0u);
+    uint64_t m =
+        static_cast<uint64_t>(static_cast<uint32_t>(Next() >> 32)) * bound;
+    if (static_cast<uint32_t>(m) < bound) {  // rare: rejection window
+      const uint32_t threshold = -bound % bound;
+      while (static_cast<uint32_t>(m) < threshold) {
+        m = static_cast<uint64_t>(static_cast<uint32_t>(Next() >> 32)) * bound;
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  /// Batched UniformIndex: out[i] = uniform in [0, bounds[i]). Exactly
+  /// equivalent to calling UniformIndex(bounds[i]) in order — same stream
+  /// consumption, same results — but the loop has no cross-iteration data
+  /// dependency on the fast path, so the compiler can keep several
+  /// multiplies in flight. All bounds must be positive.
+  void UniformIndexBatch(std::span<const uint32_t> bounds, uint32_t* out) {
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      out[i] = UniformIndex(bounds[i]);
+    }
   }
 
   /// Uniform double in [0, 1) with 53 bits of randomness.

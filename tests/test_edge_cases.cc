@@ -48,6 +48,8 @@ TEST(WalkProfileEdgeTest, StepsBeyondWalkDeathAreEmpty) {
   Rng rng(1);
   const WalkProfile profile(chain, params, 2, 20, rng);
   ASSERT_EQ(profile.num_steps(), 8u);
+  // The dead tail is not materialized: only the three live steps allocate.
+  EXPECT_EQ(profile.empty_from(), 3u);
   EXPECT_EQ(profile.CountAt(0, 2), 20u);
   EXPECT_EQ(profile.CountAt(1, 1), 20u);
   EXPECT_EQ(profile.CountAt(2, 0), 20u);

@@ -91,15 +91,21 @@ TEST(IntegrationTest, ProposedAndFogarasRaczAgreeOnStrongPairs) {
   options.threshold = 0.0;
   TopKSearcher searcher(graph, options);
   searcher.BuildIndex();
-  const FogarasRaczIndex fr(graph, params, 200, 88);
+  const FogarasRaczIndex fr(graph, params, 400, 88);
   QueryWorkspace workspace(searcher);
   int overlaps = 0, trials = 0;
   Rng rng(99);
-  for (int i = 0; i < 15; ++i) {
+  // Sample until enough *strong* pairs accumulate: queries whose best
+  // score is decisively above the noise floor of both estimators. Weak
+  // queries have near-tied candidates where the two methods legitimately
+  // pick different #1s, which made the agreement rate flip on RNG-stream
+  // changes that leave both estimators' distributions untouched.
+  for (int i = 0; i < 60; ++i) {
     const Vertex u = rng.UniformIndex(graph.NumVertices());
     const auto ours = searcher.Query(u, workspace).top;
     const auto theirs = fr.TopK(u, 5, 0.0);
     if (ours.empty() || theirs.empty()) continue;
+    if (ours[0].score < 0.05) continue;  // weak pair: ranking is tie-noise
     ++trials;
     // The #1 result of one method should appear in the other's top-5.
     for (const ScoredVertex& entry : theirs) {
@@ -109,7 +115,7 @@ TEST(IntegrationTest, ProposedAndFogarasRaczAgreeOnStrongPairs) {
       }
     }
   }
-  ASSERT_GT(trials, 5);
+  ASSERT_GT(trials, 10);
   EXPECT_GE(static_cast<double>(overlaps) / trials, 0.6);
 }
 

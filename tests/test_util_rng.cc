@@ -94,6 +94,79 @@ TEST(RngTest, UniformIntIsApproximatelyUniform) {
   EXPECT_LT(chi2, 37.7);
 }
 
+// Chi-squared goodness-of-fit for UniformIndex (Lemire nearly-divisionless
+// path). Critical values at the 99.9th percentile, so a correct generator
+// fails with probability 0.001 — and the seeds are fixed, so the test is
+// deterministic either way.
+double ChiSquared(const std::vector<int>& counts, int samples) {
+  const double expected =
+      static_cast<double>(samples) / static_cast<double>(counts.size());
+  double chi2 = 0.0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  return chi2;
+}
+
+TEST(RngTest, UniformIndexBoundOneIsAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.UniformIndex(1), 0u);
+}
+
+TEST(RngTest, UniformIndexBoundTwoIsUniform) {
+  Rng rng(12);
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformIndex(2)];
+  // 1 dof: 99.9th percentile ~ 10.83.
+  EXPECT_LT(ChiSquared(counts, kSamples), 10.83);
+}
+
+TEST(RngTest, UniformIndexNonPowerOfTwoBoundIsUniform) {
+  // A non-power-of-two bound exercises the biased-window rejection: with
+  // bound 12, 2^32 mod 12 != 0, so naive truncation would skew low values.
+  Rng rng(13);
+  constexpr int kSamples = 120000;
+  std::vector<int> counts(12, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const uint32_t x = rng.UniformIndex(12);
+    ASSERT_LT(x, 12u);
+    ++counts[x];
+  }
+  // 11 dof: 99.9th percentile ~ 31.26.
+  EXPECT_LT(ChiSquared(counts, kSamples), 31.26);
+}
+
+TEST(RngTest, UniformIndexMaxBoundIsUniform) {
+  // bound = UINT32_MAX has the largest rejection window the 32-bit path
+  // can see (threshold = 2^32 mod (2^32-1) = 1). Bucket the range into 16
+  // equal slices for the chi-squared test.
+  Rng rng(14);
+  constexpr int kSamples = 160000;
+  constexpr uint32_t kBound = UINT32_MAX;
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const uint32_t x = rng.UniformIndex(kBound);
+    ASSERT_LT(x, kBound);
+    ++counts[static_cast<uint64_t>(x) * 16 / kBound];
+  }
+  // 15 dof: 99.9th percentile ~ 37.70.
+  EXPECT_LT(ChiSquared(counts, kSamples), 37.70);
+}
+
+TEST(RngTest, UniformIndexBatchMatchesScalarCalls) {
+  // The walk kernel's determinism contract depends on the batch draw
+  // consuming the stream exactly like sequential scalar draws.
+  const std::vector<uint32_t> bounds = {1,  2,  3,   7,   12,        100,
+                                        1,  5,  256, 999, UINT32_MAX, 13};
+  Rng batch_rng(15), scalar_rng(15);
+  std::vector<uint32_t> batched(bounds.size());
+  batch_rng.UniformIndexBatch(bounds, batched.data());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_EQ(batched[i], scalar_rng.UniformIndex(bounds[i])) << "i=" << i;
+  }
+  // And the generators end in the same state.
+  EXPECT_EQ(batch_rng.Next(), scalar_rng.Next());
+}
+
 TEST(RngTest, UniformDoubleInUnitInterval) {
   Rng rng(5);
   double min = 1.0, max = 0.0;

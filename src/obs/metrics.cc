@@ -110,7 +110,7 @@ MetricsRegistry::MetricsRegistry() {
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
   CheckMetricName(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     SIMRANK_CHECK(gauges_.find(name) == gauges_.end());
@@ -123,7 +123,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
   CheckMetricName(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     SIMRANK_CHECK(counters_.find(name) == counters_.end());
@@ -135,7 +135,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
   CheckMetricName(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     SIMRANK_CHECK(counters_.find(name) == counters_.end());
@@ -150,7 +150,7 @@ void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
                                             std::function<int64_t()> callback) {
   CheckMetricName(name);
   SIMRANK_CHECK(callback != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   callbacks_[std::string(name)] = std::move(callback);
 }
 
@@ -163,7 +163,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
        fault::FaultInjector::Default().SnapshotCounters()) {
     snapshot.counters[name] = value;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();
   }
@@ -180,7 +180,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -19,10 +19,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace simrank::obs {
 
@@ -168,27 +170,35 @@ class MetricsRegistry {
 
   /// Finds or creates; one name maps to one metric kind forever (using
   /// the same name for two kinds is a CHECK failure).
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) SIMRANK_EXCLUDES(mutex_);
+  Gauge& GetGauge(std::string_view name) SIMRANK_EXCLUDES(mutex_);
+  Histogram& GetHistogram(std::string_view name) SIMRANK_EXCLUDES(mutex_);
 
   /// A gauge whose value is computed at Snapshot() time (for cheap
   /// externally-maintained counters, e.g. WalkCounter::TotalGrows()).
   void RegisterCallbackGauge(std::string_view name,
-                             std::function<int64_t()> callback);
+                             std::function<int64_t()> callback)
+      SIMRANK_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const SIMRANK_EXCLUDES(mutex_);
 
   /// Zeroes every counter/gauge/histogram (callback gauges excluded:
   /// their source owns the state). For tests and bench warmup isolation.
-  void ResetAll();
+  void ResetAll() SIMRANK_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::function<int64_t()>, std::less<>> callbacks_;
+  mutable Mutex mutex_;
+  /// The maps hold the metrics; the *pointed-to* metrics are lock-free
+  /// and intentionally written outside the registry mutex, so only the
+  /// map structure itself is guarded.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SIMRANK_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SIMRANK_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SIMRANK_GUARDED_BY(mutex_);
+  std::map<std::string, std::function<int64_t()>, std::less<>> callbacks_
+      SIMRANK_GUARDED_BY(mutex_);
 };
 
 }  // namespace simrank::obs

@@ -13,6 +13,13 @@
 // the calling thread has installed a Tracer with TraceScope. A Tracer is
 // single-threaded state — give each thread its own.
 //
+// Concurrency contract: this subsystem is deliberately lock-free by
+// *thread confinement* — a Tracer is reached only through the thread_local
+// active-tracer pointer, never shared, so there is nothing for the clang
+// thread-safety analysis (docs/STATIC_ANALYSIS.md) to annotate here. Any
+// future cross-thread span aggregation must copy closed SpanNode trees,
+// not share live Tracers.
+//
 // While a thread has an active tracer, SIMRANK_CHECK failures on that
 // thread append the open span path ("query/enumerate/refine") to the
 // failure message (the hook is registered here; util keeps no obs

@@ -247,7 +247,7 @@ size_t QueryEngine::CacheSize() const {
 
 std::unique_ptr<QueryEngine::Workspace> QueryEngine::AcquireWorkspace() {
   {
-    std::lock_guard<std::mutex> lock(workspace_mutex_);
+    MutexLock lock(workspace_mutex_);
     if (!workspace_freelist_.empty()) {
       std::unique_ptr<Workspace> workspace =
           std::move(workspace_freelist_.back());
@@ -259,7 +259,7 @@ std::unique_ptr<QueryEngine::Workspace> QueryEngine::AcquireWorkspace() {
 }
 
 void QueryEngine::ReleaseWorkspace(std::unique_ptr<Workspace> workspace) {
-  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  MutexLock lock(workspace_mutex_);
   if (workspace_freelist_.size() < max_pooled_workspaces_) {
     workspace_freelist_.push_back(std::move(workspace));
   }

@@ -32,7 +32,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -40,7 +39,9 @@
 #include "graph/graph.h"
 #include "simrank/all_pairs.h"
 #include "simrank/top_k_searcher.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace simrank::service {
@@ -241,8 +242,10 @@ class QueryEngine {
                 const QueryOverrides& overrides, uint32_t effective_k,
                 QueryResponse& response);
 
-  std::unique_ptr<Workspace> AcquireWorkspace();
-  void ReleaseWorkspace(std::unique_ptr<Workspace> workspace);
+  std::unique_ptr<Workspace> AcquireWorkspace()
+      SIMRANK_EXCLUDES(workspace_mutex_);
+  void ReleaseWorkspace(std::unique_ptr<Workspace> workspace)
+      SIMRANK_EXCLUDES(workspace_mutex_);
 
   EngineOptions options_;
   TopKSearcher searcher_;
@@ -250,8 +253,10 @@ class QueryEngine {
 
   std::atomic<size_t> queued_{0};
 
-  std::mutex workspace_mutex_;
-  std::vector<std::unique_ptr<Workspace>> workspace_freelist_;
+  Mutex workspace_mutex_;
+  std::vector<std::unique_ptr<Workspace>> workspace_freelist_
+      SIMRANK_GUARDED_BY(workspace_mutex_);
+  /// Set once in Finish() before the engine is published; read-only after.
   size_t max_pooled_workspaces_;
 
   /// Declared last: destroyed first, so the pool drains all tasks while

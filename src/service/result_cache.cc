@@ -72,7 +72,7 @@ ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
 bool ResultCache::Lookup(const CacheKey& key, CacheEntry* out) {
   CacheMetrics& metrics = GetCacheMetrics();
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     metrics.misses.Add(1);
@@ -88,7 +88,7 @@ void ResultCache::Insert(const CacheKey& key, CacheEntry entry) {
   if (capacity_ == 0) return;
   CacheMetrics& metrics = GetCacheMetrics();
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = std::move(entry);
@@ -107,7 +107,7 @@ void ResultCache::Insert(const CacheKey& key, CacheEntry entry) {
 
 void ResultCache::Clear() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
   }
@@ -116,7 +116,7 @@ void ResultCache::Clear() {
 size_t ResultCache::size() const {
   size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += shard->lru.size();
   }
   return total;

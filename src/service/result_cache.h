@@ -15,13 +15,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "simrank/top_k_searcher.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace simrank::service {
 
@@ -75,13 +76,13 @@ class ResultCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     /// Front = most recently used.
-    std::list<std::pair<CacheKey, CacheEntry>> lru;
+    std::list<std::pair<CacheKey, CacheEntry>> lru SIMRANK_GUARDED_BY(mutex);
     std::unordered_map<CacheKey,
                        std::list<std::pair<CacheKey, CacheEntry>>::iterator,
                        CacheKeyHash>
-        index;
+        index SIMRANK_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(const CacheKey& key);

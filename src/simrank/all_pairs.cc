@@ -6,7 +6,6 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -14,6 +13,8 @@
 #include "simrank/checkpoint.h"
 #include "util/atomic_file.h"
 #include "util/fault_injection.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace simrank {
@@ -42,12 +43,12 @@ class ProgressReporter {
   explicit ProgressReporter(const AllPairsOptions& options)
       : callback_(options.progress), interval_(options.progress_interval) {}
 
-  void OnCompleted() {
+  void OnCompleted() SIMRANK_EXCLUDES(mutex_) {
     const uint64_t done = completed_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (callback_ == nullptr || interval_ == 0 || done % interval_ != 0) {
       return;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     while (last_reported_ + interval_ <= done) {
       last_reported_ += interval_;
       callback_(last_reported_);
@@ -58,8 +59,8 @@ class ProgressReporter {
   const std::function<void(uint64_t)>& callback_;
   const uint64_t interval_;
   std::atomic<uint64_t> completed_{0};
-  std::mutex mutex_;
-  uint64_t last_reported_ = 0;
+  Mutex mutex_;
+  uint64_t last_reported_ SIMRANK_GUARDED_BY(mutex_) = 0;
 };
 
 // Runs queries for shard-local indices [lo, hi), writing the i-th ranking
@@ -72,7 +73,7 @@ void RunIndexRange(const TopKSearcher& searcher, uint32_t partition,
                    ThreadPool* pool, ProgressReporter& progress,
                    std::vector<std::vector<ScoredVertex>>& out,
                    QueryStats& stats) {
-  std::mutex stats_mutex;
+  Mutex stats_mutex;
   auto run_range = [&](size_t range_lo, size_t range_hi) {
     QueryWorkspace workspace(searcher);
     QueryStats chunk_stats;
@@ -83,7 +84,7 @@ void RunIndexRange(const TopKSearcher& searcher, uint32_t partition,
       out[i - lo] = std::move(result.top);
       progress.OnCompleted();
     }
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    MutexLock lock(stats_mutex);
     stats += chunk_stats;
   };
   const size_t count = hi - lo;
@@ -113,6 +114,7 @@ void AppendRankingTsv(AtomicFileWriter& writer, Vertex query,
 }
 
 Status ReadFileBytes(const std::string& path, std::string& out) {
+  SIMRANK_FAULT_POINT("ckpt.chunk.read");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IoError("cannot open " + path + ": " +
@@ -153,6 +155,7 @@ AllPairsShard RunAllPairs(const TopKSearcher& searcher,
 }
 
 Status WriteShardTsv(const AllPairsShard& shard, const std::string& path) {
+  SIMRANK_FAULT_POINT("io.shard_tsv.write");
   AtomicFileWriter writer(path);
   for (size_t i = 0; i < shard.rankings.size(); ++i) {
     AppendRankingTsv(writer, shard.VertexAt(i), shard.rankings[i]);

@@ -148,6 +148,7 @@ Status WriteCheckpoint(const AllPairsCheckpoint& checkpoint,
 
 Result<AllPairsCheckpoint> ReadCheckpoint(const std::string& dir) {
   const std::string path = ManifestPath(dir);
+  SIMRANK_FAULT_POINT("ckpt.manifest.read");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IoError("cannot open " + path + ": " +

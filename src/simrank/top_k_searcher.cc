@@ -4,13 +4,14 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "simrank/linear.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace simrank {
@@ -238,8 +239,8 @@ uint64_t TopKSearcher::PreprocessBytes() const {
 /// cannot pin O(n) scratch arrays forever.
 struct TopKSearcher::WorkspacePool {
   static constexpr size_t kMaxPooled = 64;
-  std::mutex mutex;
-  std::vector<std::unique_ptr<QueryWorkspace>> free;
+  Mutex mutex;
+  std::vector<std::unique_ptr<QueryWorkspace>> free SIMRANK_GUARDED_BY(mutex);
 };
 
 TopKSearcher::TopKSearcher(TopKSearcher&&) noexcept = default;
@@ -247,7 +248,7 @@ TopKSearcher::~TopKSearcher() = default;
 
 std::unique_ptr<QueryWorkspace> TopKSearcher::AcquireWorkspace() const {
   {
-    std::lock_guard<std::mutex> lock(workspace_pool_->mutex);
+    MutexLock lock(workspace_pool_->mutex);
     if (!workspace_pool_->free.empty()) {
       std::unique_ptr<QueryWorkspace> workspace =
           std::move(workspace_pool_->free.back());
@@ -260,14 +261,14 @@ std::unique_ptr<QueryWorkspace> TopKSearcher::AcquireWorkspace() const {
 
 void TopKSearcher::ReleaseWorkspace(
     std::unique_ptr<QueryWorkspace> workspace) const {
-  std::lock_guard<std::mutex> lock(workspace_pool_->mutex);
+  MutexLock lock(workspace_pool_->mutex);
   if (workspace_pool_->free.size() < WorkspacePool::kMaxPooled) {
     workspace_pool_->free.push_back(std::move(workspace));
   }
 }
 
 size_t TopKSearcher::pooled_workspaces() const {
-  std::lock_guard<std::mutex> lock(workspace_pool_->mutex);
+  MutexLock lock(workspace_pool_->mutex);
   return workspace_pool_->free.size();
 }
 

@@ -87,7 +87,7 @@ FaultInjector& FaultInjector::Default() {
 }
 
 void FaultInjector::Arm(const std::string& site, SiteConfig config) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_[site] = SiteState{config, 0, 0};
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -109,12 +109,12 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
 }
 
 void FaultInjector::set_seed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  rng_.seed(seed);
+  MutexLock lock(mutex_);
+  rng_.Seed(seed);
 }
 
 void FaultInjector::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_.clear();
   total_hits_ = 0;
   total_injected_ = 0;
@@ -126,7 +126,7 @@ Status FaultInjector::Hit(const char* site) {
   Action action = Action::kError;
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++total_hits_;
     auto it = sites_.find(site);
     if (it == sites_.end()) {
@@ -141,8 +141,7 @@ Status FaultInjector::Hit(const char* site) {
       fire = true;
     }
     if (!fire && state.config.probability > 0.0) {
-      std::uniform_real_distribution<double> uniform(0.0, 1.0);
-      fire = uniform(rng_) < state.config.probability;
+      fire = rng_.Bernoulli(state.config.probability);
     }
     if (fire) {
       action = state.config.action;
@@ -170,20 +169,20 @@ Status FaultInjector::Hit(const char* site) {
 }
 
 uint64_t FaultInjector::HitCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjector::InjectedCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.injected;
 }
 
 std::vector<std::pair<std::string, uint64_t>>
 FaultInjector::SnapshotCounters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, uint64_t>> counters;
   if (total_hits_ == 0) return counters;
   counters.emplace_back("faults.hits", total_hits_);

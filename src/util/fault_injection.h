@@ -31,13 +31,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
-#include <random>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace simrank::fault {
 
@@ -80,16 +81,16 @@ class FaultInjector {
 
   /// Arms `site` (enabling the injector). Re-arming a site replaces its
   /// config and resets its hit count.
-  void Arm(const std::string& site, SiteConfig config);
+  void Arm(const std::string& site, SiteConfig config) SIMRANK_EXCLUDES(mutex_);
 
   /// Parses the SIMRANK_FAULTS grammar above and arms each clause.
   Status ArmFromSpec(const std::string& spec);
 
   /// Seeds the probabilistic-trigger stream (default 42).
-  void set_seed(uint64_t seed);
+  void set_seed(uint64_t seed) SIMRANK_EXCLUDES(mutex_);
 
   /// Disarms every site, zeroes all counters, and disables the injector.
-  void Clear();
+  void Clear() SIMRANK_EXCLUDES(mutex_);
 
   bool enabled() const {
     return enabled_.load(std::memory_order_relaxed);
@@ -98,18 +99,20 @@ class FaultInjector {
   /// The implementation of SIMRANK_FAULT_POINT: counts the hit and
   /// returns the injected error if `site` is armed and its trigger fires
   /// (or never returns, for Action::kAbort).
-  Status Hit(const char* site);
+  Status Hit(const char* site) SIMRANK_EXCLUDES(mutex_);
 
   /// Hits recorded for `site` (0 if never hit).
-  uint64_t HitCount(const std::string& site) const;
+  uint64_t HitCount(const std::string& site) const SIMRANK_EXCLUDES(mutex_);
   /// Injections fired for `site` (aborts never return, so this counts
   /// error/corrupt firings).
-  uint64_t InjectedCount(const std::string& site) const;
+  uint64_t InjectedCount(const std::string& site) const
+      SIMRANK_EXCLUDES(mutex_);
 
   /// Flat counter view for metrics export: "faults.hits",
   /// "faults.injected", plus per-site "faults.<site>.hits" /
   /// "faults.<site>.injected". Empty when the injector was never hit.
-  std::vector<std::pair<std::string, uint64_t>> SnapshotCounters() const;
+  std::vector<std::pair<std::string, uint64_t>> SnapshotCounters() const
+      SIMRANK_EXCLUDES(mutex_);
 
  private:
   struct SiteState {
@@ -119,11 +122,14 @@ class FaultInjector {
   };
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::map<std::string, SiteState> sites_;
-  std::mt19937_64 rng_{42};
-  uint64_t total_hits_ = 0;
-  uint64_t total_injected_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::string, SiteState> sites_ SIMRANK_GUARDED_BY(mutex_);
+  /// Probabilistic-trigger stream (project Rng, not std::mt19937: all
+  /// randomness in src/ flows through Rng so chaos runs are reproducible
+  /// from one seeding discipline — simrank_lint rule R2).
+  Rng rng_ SIMRANK_GUARDED_BY(mutex_){42};
+  uint64_t total_hits_ SIMRANK_GUARDED_BY(mutex_) = 0;
+  uint64_t total_injected_ SIMRANK_GUARDED_BY(mutex_) = 0;
 };
 
 /// Convenience forwarder used by the macros.

@@ -16,35 +16,35 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     SIMRANK_CHECK(!shutting_down_);
     tasks_.push({std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) all_done_.Wait(lock);
     std::swap(error, first_error_);
   }
   if (error) std::rethrow_exception(error);
 }
 
 ThreadPoolStats ThreadPool::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return {tasks_executed_, queue_wait_seconds_};
 }
 
@@ -52,9 +52,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && tasks_.empty()) work_available_.Wait(lock);
       if (tasks_.empty()) return;  // shutting down
       task = std::move(tasks_.front().fn);
       queue_wait_seconds_ +=
@@ -74,11 +73,11 @@ void ThreadPool::WorkerLoop() {
     // stack frame) the moment in_flight_ hits zero.
     task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       ++tasks_executed_;
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -98,13 +97,16 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   // `remaining` hits zero, so concurrent ParallelFor calls sharing one pool
   // wait only on their own work (pool->Wait() would wait on everyone's).
   struct CallState {
-    std::mutex mutex;
-    std::condition_variable done;
-    size_t remaining;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar done;
+    size_t remaining SIMRANK_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error SIMRANK_GUARDED_BY(mutex);
   };
   CallState state;
-  state.remaining = (total + chunk - 1) / chunk;
+  {
+    MutexLock lock(state.mutex);
+    state.remaining = (total + chunk - 1) / chunk;
+  }
 
   for (size_t lo = begin; lo < end; lo += chunk) {
     const size_t hi = std::min(lo + chunk, end);
@@ -115,19 +117,19 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
       } catch (...) {
         error = std::current_exception();
       }
-      // notify_all under the lock: once `remaining` hits zero the caller
+      // Notify under the lock: once `remaining` hits zero the caller
       // may destroy `state`, so the signal and the final touch of the
       // struct must be one critical section.
-      std::lock_guard<std::mutex> lock(state.mutex);
+      MutexLock lock(state.mutex);
       if (error && !state.error) state.error = error;
-      if (--state.remaining == 0) state.done.notify_all();
+      if (--state.remaining == 0) state.done.NotifyAll();
     });
   }
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(state.mutex);
-    state.done.wait(lock, [&state] { return state.remaining == 0; });
+    MutexLock lock(state.mutex);
+    while (state.remaining != 0) state.done.Wait(lock);
     std::swap(error, state.error);
   }
   if (error) std::rethrow_exception(error);

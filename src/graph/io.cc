@@ -109,6 +109,7 @@ Result<DirectedGraph> ParseEdgeListText(const std::string& text,
 Result<DirectedGraph> LoadEdgeListText(const std::string& path,
                                        const EdgeListOptions& options) {
   obs::ScopedSpan span("load_edge_list");
+  SIMRANK_FAULT_POINT("io.load_edgelist");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IoError("cannot open " + path + ": " +
@@ -168,6 +169,7 @@ Status SaveBinary(const DirectedGraph& graph, const std::string& path) {
 
 Result<DirectedGraph> LoadBinary(const std::string& path) {
   obs::ScopedSpan span("load_binary_graph");
+  SIMRANK_FAULT_POINT("io.load_binary");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IoError("cannot open " + path + ": " +

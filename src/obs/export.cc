@@ -1,12 +1,12 @@
 #include "obs/export.h"
 
-#include <cerrno>
 #include <cmath>
-#include <cstring>
 #include <string>
 
 #include "obs/build_info.h"
+#include "util/atomic_file.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/table.h"
 
 namespace simrank::obs {
@@ -296,16 +296,16 @@ std::string BenchReportToJson(const BenchReport& report,
 }
 
 Status WriteJsonFile(const std::string& path, std::string_view json) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IoError("cannot create " + path + ": " +
-                           std::strerror(errno));
-  }
-  bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
-  ok = std::fputc('\n', file) != EOF && ok;
-  if (std::fclose(file) != 0) ok = false;
-  if (!ok) return Status::IoError("write error on " + path);
-  return Status::OK();
+  // Atomic replace, like every other artifact writer: CI and dashboards
+  // read these JSON files, and a crash or ENOSPC mid-write must never
+  // leave a truncated document (or clobber a good previous one) at the
+  // final path. Surfaced by simrank_lint rule R1 — this was the last raw
+  // write-mode fopen outside AtomicFileWriter.
+  SIMRANK_FAULT_POINT("obs.export.write");
+  AtomicFileWriter writer(path);
+  writer.Append(json);
+  writer.Append("\n");
+  return writer.Commit();
 }
 
 Status WriteJson(const std::string& path, const MetricsSnapshot& snapshot,

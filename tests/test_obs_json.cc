@@ -17,6 +17,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "util/fault_injection.h"
 
 namespace simrank::obs {
 namespace {
@@ -342,6 +343,57 @@ TEST(WriteJsonTest, UnwritablePathReturnsError) {
   const Status status =
       WriteJson("/nonexistent-dir-xyz/out.json", SampleSnapshot());
   EXPECT_FALSE(status.ok());
+}
+
+namespace {
+
+std::string SlurpFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr) << path;
+  if (file == nullptr) return {};
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+}  // namespace
+
+// Regression test for the latent defect surfaced by the static-analysis
+// pass: WriteJsonFile used a raw fopen(path, "wb"), so a write that
+// failed partway destroyed the previous good document at the final path.
+// Now it stages through AtomicFileWriter: a failed write must leave the
+// prior contents byte-for-byte intact and no temp file behind.
+TEST(WriteJsonTest, FailedWritePreservesPreviousFile) {
+  const std::string path = ::testing::TempDir() + "/obs_atomic.json";
+  ASSERT_TRUE(WriteJson(path, SampleSnapshot()).ok());
+  const std::string before = SlurpFile(path);
+  ASSERT_FALSE(before.empty());
+
+  // Probability 1.0 (not on_hit) so every open attempt fails even through
+  // AtomicFileWriter's retry loop.
+  fault::SiteConfig config;
+  config.action = fault::Action::kError;
+  config.probability = 1.0;
+  fault::FaultInjector::Default().Arm("io.atomic.open", config);
+
+  MetricsSnapshot changed = SampleSnapshot();
+  changed.counters["query.count"] = 999;
+  const Status status = WriteJson(path, changed);
+  fault::FaultInjector::Default().Clear();
+
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(SlurpFile(path), before);
+  // No orphaned staging file next to the target.
+  const std::string tmp = path + ".tmp";
+  std::FILE* leftover = std::fopen(tmp.c_str(), "rb");
+  EXPECT_EQ(leftover, nullptr) << "staging file left behind: " << tmp;
+  if (leftover != nullptr) std::fclose(leftover);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -27,7 +27,13 @@ const char* StatusCodeName(StatusCode code);
 
 /// Lightweight Status in the Arrow/RocksDB style: a (code, message) pair
 /// used for recoverable errors. Programming errors use SIMRANK_CHECK.
-class Status {
+///
+/// Declared [[nodiscard]]: silently dropping an error Status is how a
+/// failed durable write goes unnoticed, so every Status-returning call
+/// must be consumed. The rare intentional discard is an explicit
+/// `(void)` cast, which the project linter (tools/simrank_lint, rule R4)
+/// requires to carry a `simrank-lint: allow(R4)` justification.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -80,7 +86,7 @@ class Status {
 /// positive (the speculated destroy of the Status alternative's string while
 /// the variant holds T), and the pair keeps status() a plain member read.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so functions can `return value;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT

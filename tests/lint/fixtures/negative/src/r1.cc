@@ -1,0 +1,16 @@
+// Fixture: rule R1 must stay quiet — durable output staged through
+// AtomicFileWriter, read-mode fopen allowed, and a comment mentioning
+// std::ofstream must not trip the comment stripper.
+#include <cstdio>
+#include <string>
+
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+simrank::Status SaveReport(const std::string& path, const std::string& body) {
+  SIMRANK_FAULT_POINT("fixture.save");
+  simrank::AtomicFileWriter writer(path);
+  writer.Append(body);
+  return writer.Commit();
+}

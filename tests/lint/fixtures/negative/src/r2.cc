@@ -1,0 +1,7 @@
+// Fixture: rule R2 must stay quiet — randomness drawn from the project
+// Rng (a comment naming std::mt19937 must not count).
+#include "util/rng.h"
+
+unsigned PickPivot(simrank::Rng& rng, unsigned n) {
+  return static_cast<unsigned>(rng.UniformInt(n));
+}

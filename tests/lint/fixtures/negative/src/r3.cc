@@ -1,0 +1,13 @@
+// Fixture: rule R3 must stay quiet — project Mutex with the guarded
+// member annotated.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Bump();
+
+ private:
+  simrank::Mutex mutex_;
+  int value_ SIMRANK_GUARDED_BY(mutex_) = 0;
+};

@@ -1,0 +1,10 @@
+// Fixture: rule R4 must stay quiet — the (void) discard carries a
+// justified allow() comment (this also exercises the suppression parser).
+#include "util/status.h"
+
+simrank::Status DoWork();
+
+void FireAndForget() {
+  // simrank-lint: allow(R4) best-effort prefetch; failure is retried later
+  (void)DoWork();
+}

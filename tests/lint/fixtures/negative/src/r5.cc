@@ -1,0 +1,28 @@
+// Fixture: rule R5 must stay quiet — both the writer and the loader
+// carry a SIMRANK_FAULT_POINT within the window.
+#include <cstdio>
+#include <string>
+
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+simrank::Status SaveReport(const std::string& path, const std::string& body) {
+  SIMRANK_FAULT_POINT("fixture.save");
+  simrank::AtomicFileWriter writer(path);
+  writer.Append(body);
+  return writer.Commit();
+}
+
+simrank::Status LoadReport(const std::string& path, std::string& out) {
+  SIMRANK_FAULT_POINT("fixture.load");
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return simrank::Status::IoError("cannot open " + path);
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    out.append(buf, got);
+  }
+  std::fclose(file);
+  return simrank::Status::OK();
+}

@@ -1,0 +1,11 @@
+// Fixture: rule R4(a) must stay quiet — Status and Result<T> keep their
+// [[nodiscard]] declarations.
+#ifndef FIXTURE_STATUS_H_
+#define FIXTURE_STATUS_H_
+
+class [[nodiscard]] Status {};
+
+template <typename T>
+class [[nodiscard]] Result {};
+
+#endif  // FIXTURE_STATUS_H_

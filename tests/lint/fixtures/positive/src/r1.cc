@@ -1,0 +1,8 @@
+// Fixture: rule R1 must fire — durable output bypassing AtomicFileWriter.
+#include <fstream>
+#include <string>
+
+void DumpScores(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << body;
+}

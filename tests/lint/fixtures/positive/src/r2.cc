@@ -1,0 +1,7 @@
+// Fixture: rule R2 must fire — ad-hoc randomness outside util/rng.h.
+#include <random>
+
+unsigned PickPivot(unsigned n) {
+  std::mt19937 gen(42);
+  return gen() % n;
+}

@@ -1,0 +1,12 @@
+// Fixture: rule R3 must fire — raw std::mutex member (no capability
+// attributes, invisible to -Wthread-safety).
+#include <mutex>
+
+class Counter {
+ public:
+  void Bump();
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};

@@ -1,0 +1,13 @@
+// Fixture: rule R3 (file-level variant) must fire — a project Mutex is
+// declared but nothing in the file carries SIMRANK_GUARDED_BY, so the
+// capability protects no annotated state.
+#include "util/mutex.h"
+
+class Ledger {
+ public:
+  void Add(int delta);
+
+ private:
+  simrank::Mutex mutex_;
+  long total_ = 0;
+};

@@ -1,0 +1,9 @@
+// Fixture: rule R4 must fire — explicit (void) discard of a call result
+// with no justification comment.
+#include "util/status.h"
+
+simrank::Status DoWork();
+
+void FireAndForget() {
+  (void)DoWork();
+}

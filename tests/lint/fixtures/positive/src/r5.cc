@@ -1,0 +1,12 @@
+// Fixture: rule R5 must fire — a durable write site with no
+// SIMRANK_FAULT_POINT in the preceding window.
+#include <string>
+
+#include "util/atomic_file.h"
+#include "util/status.h"
+
+simrank::Status SaveReport(const std::string& path, const std::string& body) {
+  simrank::AtomicFileWriter writer(path);
+  writer.Append(body);
+  return writer.Commit();
+}

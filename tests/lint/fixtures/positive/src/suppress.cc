@@ -1,0 +1,9 @@
+// Fixture: a suppression comment WITHOUT a reason is not a suppression —
+// the R4 finding below must still fire.
+#include "util/status.h"
+
+simrank::Status DoWork();
+
+void FireAndForget() {
+  (void)DoWork();  // simrank-lint: allow(R4)
+}

@@ -1,0 +1,11 @@
+// Fixture: rule R4(a) must fire twice — Status and Result<T> have lost
+// their [[nodiscard]] declaration.
+#ifndef FIXTURE_STATUS_H_
+#define FIXTURE_STATUS_H_
+
+class Status {};
+
+template <typename T>
+class Result {};
+
+#endif  // FIXTURE_STATUS_H_

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# clang-tidy gate over the first-party tree (config: .clang-tidy).
+# Lint gate over the first-party tree: the project linter
+# (tools/simrank_lint, rules R1-R5 — see docs/STATIC_ANALYSIS.md) followed
+# by clang-tidy (config: .clang-tidy).
 #
 # Usage: tools/run_lint.sh [build-dir]
 #
@@ -7,16 +9,26 @@
 # compile_commands.json, then runs clang-tidy over every tracked C++ source.
 # Exits non-zero on any finding (WarningsAsErrors: '*').
 #
-# The gate degrades gracefully: when clang-tidy is not installed (e.g. the
-# gcc-only dev container) it prints a notice and exits 0 so local workflows
-# are not blocked; the CI lint job runs in an image that has clang-tidy and
-# enforces the gate for every PR.
+# The clang-tidy half degrades gracefully: when clang-tidy is not installed
+# (e.g. the gcc-only dev container) it prints a notice and exits 0 so local
+# workflows are not blocked; the CI static-analysis job runs in an image
+# that has clang and enforces the gate for every PR. simrank_lint needs
+# only python3 and always runs.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-lint}"
 
+# --- project linter (python3 stdlib; no build needed) ---
+if command -v python3 > /dev/null 2>&1; then
+  echo "run_lint.sh: simrank_lint over src/"
+  python3 "${repo_root}/tools/simrank_lint" --root "${repo_root}"
+else
+  echo "run_lint.sh: python3 not found on PATH; skipping simrank_lint (CI enforces this gate)."
+fi
+
+# --- clang-tidy ---
 if ! command -v clang-tidy > /dev/null 2>&1; then
   echo "run_lint.sh: clang-tidy not found on PATH; skipping (CI enforces this gate)."
   exit 0

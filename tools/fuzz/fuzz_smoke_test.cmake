@@ -1,0 +1,43 @@
+# Smoke test for the fuzz harness: seed a corpus with --make-corpus, then
+# run the harness over it. MODE=standalone (gcc) replays every seed;
+# MODE=libfuzzer (clang) also runs a short bounded mutation session so the
+# engine integration is exercised in CI.
+#
+# Invoked by ctest (see tools/fuzz/CMakeLists.txt) with:
+#   -DFUZZER=<path to fuzz_load_binary> -DMODE=... -DWORK_DIR=...
+
+set(corpus_dir "${WORK_DIR}/fuzz_corpus")
+file(REMOVE_RECURSE "${corpus_dir}")
+file(MAKE_DIRECTORY "${corpus_dir}")
+
+execute_process(
+  COMMAND "${FUZZER}" --make-corpus "${corpus_dir}"
+  RESULT_VARIABLE make_result)
+if(NOT make_result EQUAL 0)
+  message(FATAL_ERROR "fuzz_smoke: --make-corpus failed (${make_result})")
+endif()
+
+file(GLOB seeds "${corpus_dir}/*")
+list(LENGTH seeds seed_count)
+if(seed_count LESS 8)
+  message(FATAL_ERROR "fuzz_smoke: expected >= 8 seeds, got ${seed_count}")
+endif()
+
+if(MODE STREQUAL "libfuzzer")
+  # Bounded mutation session: 30 seconds or 20000 runs, whichever first.
+  execute_process(
+    COMMAND "${FUZZER}" -max_total_time=30 -runs=20000 "${corpus_dir}"
+    RESULT_VARIABLE fuzz_result)
+  if(NOT fuzz_result EQUAL 0)
+    message(FATAL_ERROR "fuzz_smoke: libFuzzer session failed (${fuzz_result})")
+  endif()
+else()
+  execute_process(
+    COMMAND "${FUZZER}" "${corpus_dir}"
+    RESULT_VARIABLE replay_result)
+  if(NOT replay_result EQUAL 0)
+    message(FATAL_ERROR "fuzz_smoke: corpus replay failed (${replay_result})")
+  endif()
+endif()
+
+message(STATUS "fuzz_smoke: OK (${seed_count} seeds, mode=${MODE})")

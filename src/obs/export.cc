@@ -295,6 +295,126 @@ std::string BenchReportToJson(const BenchReport& report,
   return json.TakeString();
 }
 
+namespace {
+
+void WriteQueryEvent(JsonWriter& json, const QueryEvent& event) {
+  json.BeginObject();
+  json.Key("id").Uint(event.query_id);
+  json.Key("start_ns").Uint(event.start_ns);
+  json.Key("duration_ns").Uint(event.duration_ns);
+  json.Key("queue_wait_ns").Uint(event.queue_wait_ns);
+  json.Key("walks").Uint(event.walks);
+  json.Key("vertex").Uint(event.vertex);
+  json.Key("k").Uint(event.k);
+  json.Key("group_size").Uint(event.group_size);
+  json.Key("mode").String(event.mode == QueryEventMode::kGroup ? "group"
+                                                               : "vertex");
+  json.Key("status").String(
+      StatusCodeName(static_cast<StatusCode>(event.status)));
+  json.Key("cache_hit").Bool((event.flags & kEventCacheHit) != 0);
+  json.Key("degraded").Bool((event.flags & kEventDegraded) != 0);
+  json.Key("shed").Bool((event.flags & kEventShed) != 0);
+  json.Key("submitted").Bool((event.flags & kEventSubmitted) != 0);
+  json.EndObject();
+}
+
+void WriteWindowSnapshot(JsonWriter& json, const WindowSnapshot& window) {
+  json.BeginObject();
+  json.Key("now_second").Uint(window.now_second);
+  json.Key("bucket_seconds").Uint(window.bucket_seconds);
+  json.Key("num_buckets").Uint(window.num_buckets);
+  json.Key("count").Uint(window.count);
+  json.Key("errors").Uint(window.errors);
+  json.Key("shed").Uint(window.shed);
+  json.Key("degraded").Uint(window.degraded);
+  json.Key("cache_hits").Uint(window.cache_hits);
+  json.Key("latency_sum_ns").Uint(window.latency_sum_ns);
+  json.Key("latency_max_ns").Uint(window.latency_max_ns);
+  json.Key("latency_p50_ns").Double(window.latency_p50_ns);
+  json.Key("latency_p95_ns").Double(window.latency_p95_ns);
+  json.Key("latency_p99_ns").Double(window.latency_p99_ns);
+  json.Key("buckets").BeginArray();
+  for (const WindowBucket& bucket : window.buckets) {
+    json.BeginObject();
+    json.Key("second").Uint(bucket.second);
+    json.Key("count").Uint(bucket.count);
+    json.Key("errors").Uint(bucket.errors);
+    json.Key("shed").Uint(bucket.shed);
+    json.Key("degraded").Uint(bucket.degraded);
+    json.Key("cache_hits").Uint(bucket.cache_hits);
+    json.Key("latency_sum_ns").Uint(bucket.latency_sum_ns);
+    json.Key("latency_max_ns").Uint(bucket.latency_max_ns);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("slo").BeginArray();
+  for (const SloResult& result : window.slos) {
+    json.BeginObject();
+    json.Key("name").String(result.spec.name);
+    json.Key("objective").String(SloObjectiveName(result.spec.objective));
+    json.Key("threshold").Double(result.spec.threshold);
+    json.Key("value").Double(result.value);
+    json.Key("ok").Bool(result.ok);
+    json.Key("samples").Uint(result.samples);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+}  // namespace
+
+EventsReport CollectDefaultEventsReport() {
+  EventsReport report;
+  report.events = EventLog::Default().Snapshot();
+  report.slow = SlowQueryLog::Default().Snapshot();
+  report.window = RollingWindow::Default().Snapshot(RollingWindow::NowSecond());
+  return report;
+}
+
+std::string EventsToJson(const EventsReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema").String("simrank-events-v1");
+  json.Key("git_rev").String(BuildGitRevision());
+  json.Key("events").BeginArray();
+  for (const QueryEvent& event : report.events) {
+    WriteQueryEvent(json, event);
+  }
+  json.EndArray();
+  json.Key("slow").BeginArray();
+  for (const SlowQueryRecord& record : report.slow) {
+    json.BeginObject();
+    json.Key("event");
+    WriteQueryEvent(json, record.event);
+    json.Key("vertices").BeginArray();
+    for (const uint32_t vertex : record.vertices) json.Uint(vertex);
+    json.EndArray();
+    json.Key("trace");
+    if (record.trace != nullptr) {
+      WriteSpanNode(json, *record.trace);
+    } else {
+      json.Null();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("window");
+  WriteWindowSnapshot(json, report.window);
+  if (report.has_postmortem) {
+    json.Key("postmortem").BeginObject();
+    json.Key("reason").String(report.postmortem.reason);
+    json.Key("span_path").String(report.postmortem.span_path);
+    json.EndObject();
+  }
+  json.EndObject();
+  return json.TakeString();
+}
+
+Status WriteEventsJson(const std::string& path, const EventsReport& report) {
+  return WriteJsonFile(path, EventsToJson(report));
+}
+
 Status WriteJsonFile(const std::string& path, std::string_view json) {
   // Atomic replace, like every other artifact writer: CI and dashboards
   // read these JSON files, and a crash or ENOSPC mid-write must never

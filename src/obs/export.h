@@ -2,10 +2,11 @@
 #define SIMRANK_OBS_EXPORT_H_
 
 // Exporters for the obs subsystem: human-readable tables (util::Table
-// layout) and stable-schema JSON. The JSON schema is versioned
-// ("simrank-obs-v1" / "simrank-bench-v1") and documented in
-// docs/OBSERVABILITY.md; CI checks it (see .github/workflows/ci.yml), so
-// schema changes must bump the version string.
+// layout) and stable-schema JSON. The JSON schemas are versioned
+// ("simrank-obs-v1" / "simrank-bench-v1" / "simrank-events-v1") and
+// documented in docs/OBSERVABILITY.md; CI checks them (see
+// .github/workflows/ci.yml), so schema changes must bump the version
+// string.
 
 #include <cstdint>
 #include <cstdio>
@@ -14,7 +15,10 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/rolling.h"
+#include "obs/slow_log.h"
 #include "obs/span.h"
 #include "util/status.h"
 
@@ -93,6 +97,35 @@ struct BenchReport {
 std::string BenchReportToJson(const BenchReport& report,
                               const MetricsSnapshot& snapshot,
                               const SpanNode* trace = nullptr);
+
+/// Crash context attached to an events document written from the
+/// SIMRANK_CHECK abort hook (absent from ordinary exports).
+struct PostmortemInfo {
+  std::string reason;     ///< "CHECK failed at file:line: expr"
+  std::string span_path;  ///< open span path of the failing thread ("")
+};
+
+/// Everything a "simrank-events-v1" document serializes: the flight
+/// recorder contents, the slow-query reservoir, the rolling-window
+/// snapshot with its evaluated SLOs, and (crash dumps only) the failure
+/// context. Move-only (slow records own span-tree clones).
+struct EventsReport {
+  std::vector<QueryEvent> events;
+  std::vector<SlowQueryRecord> slow;
+  WindowSnapshot window;
+  bool has_postmortem = false;
+  PostmortemInfo postmortem;
+};
+
+/// Snapshots the process-wide defaults (EventLog / SlowQueryLog /
+/// RollingWindow) into one report, as of now.
+EventsReport CollectDefaultEventsReport();
+
+/// Serializes a report as a "simrank-events-v1" document.
+std::string EventsToJson(const EventsReport& report);
+
+/// Convenience: events document straight to a file.
+Status WriteEventsJson(const std::string& path, const EventsReport& report);
 
 /// Writes a serialized JSON document to `path`.
 Status WriteJsonFile(const std::string& path, std::string_view json);

@@ -1,0 +1,100 @@
+#ifndef SIMRANK_OBS_SLOW_LOG_H_
+#define SIMRANK_OBS_SLOW_LOG_H_
+
+// Slow-query log (docs/OBSERVABILITY.md, "Per-query events").
+//
+// Histograms say *that* a latency tail exists; this log keeps exemplars
+// of *which* queries formed it: every query slower than a configurable
+// threshold is offered here together with its full span tree, and a
+// bounded reservoir retains the top-N slowest. Arming it costs one span
+// tree per slow query (SpanNode::Clone), so the threshold — not the
+// traffic rate — bounds the overhead; disarmed (threshold 0) it is one
+// relaxed atomic load per query.
+//
+// Thread-safety: Offer/Snapshot/Configure may race freely (one Mutex on
+// the slow path only; the armed check is lock-free).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace simrank::obs {
+
+/// One retained slow query: its flight-recorder event, the full query
+/// vertex set, and a deep copy of the span tree recorded during its
+/// execution (null when the query ran without a tracer).
+struct SlowQueryRecord {
+  QueryEvent event;
+  std::vector<uint32_t> vertices;
+  std::unique_ptr<SpanNode> trace;
+
+  SlowQueryRecord Clone() const {
+    SlowQueryRecord copy;
+    copy.event = event;
+    copy.vertices = vertices;
+    if (trace != nullptr) copy.trace = trace->Clone();
+    return copy;
+  }
+};
+
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 16;
+
+  /// The process-wide log the serving layer offers into (leaky singleton);
+  /// read by the `--events-json` exporter.
+  static SlowQueryLog& Default();
+
+  explicit SlowQueryLog(size_t capacity = kDefaultCapacity);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Sets the slow threshold (ns) and reservoir size. threshold_ns == 0
+  /// disarms the log. capacity is clamped to >= 1.
+  void Configure(uint64_t threshold_ns, size_t capacity)
+      SIMRANK_EXCLUDES(mutex_);
+
+  /// True when queries should capture span trees for this log (obs and the
+  /// event layer enabled, threshold non-zero). Lock-free; engines call
+  /// this per query to decide whether to install a tracer.
+  bool armed() const {
+    return threshold_ns_.load(std::memory_order_relaxed) != 0 &&
+           IsEnabled() && EventsEnabled();
+  }
+  uint64_t threshold_ns() const {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Retains the record if it is slower than the threshold and among the
+  /// top-N slowest seen (evicting the fastest retained one when full).
+  /// Takes ownership of `record.trace`. Returns true when retained.
+  bool Offer(SlowQueryRecord record) SIMRANK_EXCLUDES(mutex_);
+
+  /// The retained records, slowest first (deep copies).
+  std::vector<SlowQueryRecord> Snapshot() const SIMRANK_EXCLUDES(mutex_);
+
+  size_t size() const SIMRANK_EXCLUDES(mutex_);
+  size_t capacity() const SIMRANK_EXCLUDES(mutex_);
+
+  /// Drops every retained record (keeps the configuration; tests).
+  void Clear() SIMRANK_EXCLUDES(mutex_);
+
+ private:
+  std::atomic<uint64_t> threshold_ns_{0};
+  mutable Mutex mutex_;
+  size_t capacity_ SIMRANK_GUARDED_BY(mutex_);
+  /// Unordered; Snapshot sorts by duration. Bounded by capacity_.
+  std::vector<SlowQueryRecord> records_ SIMRANK_GUARDED_BY(mutex_);
+};
+
+}  // namespace simrank::obs
+
+#endif  // SIMRANK_OBS_SLOW_LOG_H_

@@ -40,6 +40,16 @@ const SpanNode* SpanNode::FindChild(std::string_view child_name) const {
   return nullptr;
 }
 
+std::unique_ptr<SpanNode> SpanNode::Clone() const {
+  auto copy = std::make_unique<SpanNode>();
+  copy->name = name;
+  copy->count = count;
+  copy->seconds = seconds;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
 double SpanNode::ChildSeconds() const {
   double total = 0.0;
   for (const auto& child : children) total += child->seconds;

@@ -45,6 +45,10 @@ struct SpanNode {
   /// First child with the given name, or null.
   const SpanNode* FindChild(std::string_view child_name) const;
 
+  /// Deep copy of this subtree. Lets closed span trees cross threads (the
+  /// slow-query log stores clones; live Tracers stay thread-confined).
+  std::unique_ptr<SpanNode> Clone() const;
+
   /// Sum of the direct children's `seconds` (always <= this node's
   /// `seconds` for closed spans: children occupy disjoint sub-intervals of
   /// the parent's interval on a monotonic clock).

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/span.h"
 #include "service/result_cache.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 #include "util/top_k.h"
 
@@ -51,6 +56,21 @@ bool DeadlinePassed(const std::optional<EngineClock::time_point>& deadline) {
   return deadline.has_value() && EngineClock::now() >= *deadline;
 }
 
+/// Walks the kernel spent on a response, reconstructed from its stats
+/// (the kernel reports pass counts, not walk totals): profile walks per
+/// group member plus the estimate/refine walks per candidate. An
+/// estimate — degraded queries refine with the rough sample count, and a
+/// deadline may cut a member short — but proportional to real cost,
+/// which is what tail analysis needs.
+uint64_t EstimateWalks(const QueryStats& stats, const SearchOptions& search,
+                       bool degraded, uint64_t members) {
+  const uint64_t refine_walks =
+      degraded ? search.estimate_walks : search.refine_walks;
+  return members * search.profile_walks +
+         stats.rough_estimates * search.estimate_walks +
+         stats.refined * refine_walks;
+}
+
 }  // namespace
 
 /// Serving-layer scratch: the kernel workspace plus the group-vote
@@ -65,14 +85,42 @@ struct QueryEngine::Workspace {
   std::vector<Vertex> touched;
 };
 
-Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
-    const DirectedGraph& graph, EngineOptions options) {
+Status ValidateEngineOptions(const EngineOptions& options) {
   SIMRANK_RETURN_IF_ERROR(options.search.Validate());
   if (options.enable_cache && options.cache_capacity > 0 &&
       options.cache_shards < 1) {
     return Status::InvalidArgument(
         "EngineOptions::cache_shards must be >= 1 when the cache is enabled");
   }
+  // !(x >= 0) also rejects NaN.
+  if (!(options.slow_log_threshold_seconds >= 0.0)) {
+    return Status::InvalidArgument(
+        "EngineOptions::slow_log_threshold_seconds must be >= 0");
+  }
+  for (const obs::SloSpec& spec : options.slos) {
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("SloSpec::name must not be empty");
+    }
+    for (const char c : spec.name) {
+      const bool ok =
+          (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+      if (!ok) {
+        return Status::InvalidArgument("SloSpec::name '" + spec.name +
+                                       "' must match [a-z0-9_]+ (it becomes "
+                                       "part of a metric name)");
+      }
+    }
+    if (!std::isfinite(spec.threshold) || spec.threshold < 0.0) {
+      return Status::InvalidArgument("SloSpec '" + spec.name +
+                                     "': threshold must be finite and >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    const DirectedGraph& graph, EngineOptions options) {
+  SIMRANK_RETURN_IF_ERROR(ValidateEngineOptions(options));
   // Not make_unique: the constructor is private.
   std::unique_ptr<QueryEngine> engine(
       new QueryEngine(graph, std::move(options)));
@@ -82,12 +130,7 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Adopt(
     TopKSearcher searcher, EngineOptions options) {
   options.search = searcher.options();
-  SIMRANK_RETURN_IF_ERROR(options.search.Validate());
-  if (options.enable_cache && options.cache_capacity > 0 &&
-      options.cache_shards < 1) {
-    return Status::InvalidArgument(
-        "EngineOptions::cache_shards must be >= 1 when the cache is enabled");
-  }
+  SIMRANK_RETURN_IF_ERROR(ValidateEngineOptions(options));
   std::unique_ptr<QueryEngine> engine(
       new QueryEngine(std::move(searcher), std::move(options)));
   return Finish(std::move(engine));
@@ -112,13 +155,44 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Finish(
   // Enough pooled workspaces for every worker plus a couple of synchronous
   // callers; beyond that, bursts allocate and drop.
   engine->max_pooled_workspaces_ = engine->pool_.num_threads() * 2 + 2;
+  if (engine->options_.record_events) {
+    // The event sinks are process-wide (like the metrics registry):
+    // engines configure them, the CLI / postmortem hook read them without
+    // needing an engine reference.
+    if (engine->options_.slow_log_threshold_seconds > 0.0) {
+      // A positive threshold must arm the log: sub-nanosecond values
+      // (e.g. 1e-12 in tests) round up to 1 ns instead of truncating to
+      // the 0 that means "disarmed".
+      const uint64_t threshold_ns = std::max<uint64_t>(
+          1, static_cast<uint64_t>(
+                 engine->options_.slow_log_threshold_seconds * 1e9));
+      obs::SlowQueryLog::Default().Configure(
+          threshold_ns, engine->options_.slow_log_capacity);
+    }
+    if (!engine->options_.slos.empty()) {
+      obs::RollingWindow::Default().SetSlos(engine->options_.slos);
+    }
+  }
   if (!engine->searcher_.index_built()) {
     engine->searcher_.BuildIndex(&engine->pool_);
   }
   return engine;
 }
 
-QueryEngine::~QueryEngine() = default;
+QueryEngine::~QueryEngine() {
+  // Final gauge publication: a short-lived engine (one CLI query) never
+  // rolls a window bucket, so without this the service.slo.* and pool
+  // gauges in an end-of-run obs snapshot would be stale or absent.
+  const ThreadPoolStats stats = pool_.stats();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry.GetGauge("service.pool.tasks_executed")
+      .Set(static_cast<int64_t>(stats.tasks_executed));
+  registry.GetGauge("service.pool.queue_wait_us")
+      .Set(static_cast<int64_t>(stats.queue_wait_seconds * 1e6));
+  if (options_.record_events && !options_.slos.empty()) {
+    obs::RollingWindow::Default().UpdateGauges(obs::RollingWindow::NowSecond());
+  }
+}
 
 Status QueryEngine::ValidateRequest(const QueryRequest& request) const {
   if (request.vertices.empty()) {
@@ -149,7 +223,7 @@ Result<QueryResponse> QueryEngine::Query(const QueryRequest& request) {
     GetServiceMetrics().rejected.Add(1);
     return status;
   }
-  return Execute(request, /*queue_seconds=*/0.0);
+  return Execute(request, /*queue_seconds=*/0.0, /*submitted=*/false);
 }
 
 Result<std::future<Result<QueryResponse>>> QueryEngine::Submit(
@@ -170,7 +244,7 @@ Result<std::future<Result<QueryResponse>>> QueryEngine::Submit(
     const double queue_seconds =
         std::chrono::duration<double>(EngineClock::now() - enqueued).count();
     try {
-      promise->set_value(Execute(request, queue_seconds));
+      promise->set_value(Execute(request, queue_seconds, /*submitted=*/true));
     } catch (...) {
       promise->set_value(
           Status::Internal("query task failed with an exception"));
@@ -266,7 +340,76 @@ void QueryEngine::ReleaseWorkspace(std::unique_ptr<Workspace> workspace) {
 }
 
 Result<QueryResponse> QueryEngine::Execute(const QueryRequest& request,
-                                           double queue_seconds) {
+                                           double queue_seconds,
+                                           bool submitted) {
+  const bool events = options_.record_events && obs::IsEnabled() &&
+                      obs::EventsEnabled();
+  if (!events) return ExecuteStages(request, queue_seconds);
+
+  obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Default();
+  // A per-query tracer (for the slow log's span trees) only when the slow
+  // log is armed — span capture is the expensive part of tracing — and
+  // only when the thread has none: a caller tracing its own scope keeps
+  // its tracer and the slow record simply carries no tree.
+  obs::Tracer tracer;
+  std::optional<obs::TraceScope> trace_scope;
+  const bool own_tracer = slow_log.armed() && obs::ActiveTracer() == nullptr;
+  if (own_tracer) trace_scope.emplace(tracer);
+
+  const uint64_t start_ns = obs::EventLog::NowNs();
+  Result<QueryResponse> result = ExecuteStages(request, queue_seconds);
+  const uint64_t duration_ns = obs::EventLog::NowNs() - start_ns;
+
+  obs::QueryEvent event;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.queue_wait_ns = static_cast<uint64_t>(queue_seconds * 1e9);
+  event.vertex = request.vertices.front();
+  event.k = request.k.value_or(options_.search.k);
+  event.group_size = static_cast<uint32_t>(request.vertices.size());
+  event.mode = request.is_group() ? obs::QueryEventMode::kGroup
+                                  : obs::QueryEventMode::kVertex;
+  if (submitted) event.flags |= obs::kEventSubmitted;
+  if (result.ok()) {
+    const QueryResponse& response = result.value();
+    event.status = static_cast<uint8_t>(response.status.code());
+    if (response.from_cache) {
+      event.flags |= obs::kEventCacheHit;  // walks stay 0: nothing ran
+    } else {
+      event.walks = EstimateWalks(response.stats, options_.search,
+                                  response.degraded,
+                                  request.vertices.size());
+    }
+    // The engine's only degradation today is shed-triggered, so the two
+    // flags travel together; a future degradation mode (e.g. per-request
+    // quality hints) would set kEventDegraded alone.
+    if (response.degraded) event.flags |= obs::kEventDegraded | obs::kEventShed;
+  } else {
+    event.status = static_cast<uint8_t>(result.status().code());
+  }
+  const uint64_t query_id = obs::EventLog::Default().Record(event);
+  event.query_id = query_id;
+  if (result.ok()) result.value().query_id = query_id;
+  obs::RollingWindow::Default().Record(obs::RollingWindow::NowSecond(),
+                                       duration_ns, event.flags, event.status);
+  if (own_tracer && slow_log.armed() &&
+      duration_ns >= slow_log.threshold_ns()) {
+    obs::SlowQueryRecord record;
+    record.event = event;
+    record.vertices = request.vertices;
+    record.trace = tracer.root().Clone();
+    slow_log.Offer(std::move(record));
+  }
+  return result;
+}
+
+Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
+                                                 double queue_seconds) {
+  obs::ScopedSpan span("engine_query");
+  // Chaos hook for the serving path (docs/ROBUSTNESS.md): `error` makes
+  // this request fail, `check` simulates an invariant violation inside
+  // the engine — the postmortem-dump scenario in tools/chaos_test.cmake.
+  SIMRANK_FAULT_POINT("service.query.exec");
   ServiceMetrics& metrics = GetServiceMetrics();
   metrics.requests.Add(1);
   WallTimer timer;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/rolling.h"
 #include "simrank/all_pairs.h"
 #include "simrank/top_k_searcher.h"
 #include "util/mutex.h"
@@ -131,6 +132,10 @@ struct QueryResponse {
   double queue_seconds = 0.0;
   /// End-to-end engine time for this request, excluding queue wait.
   double engine_seconds = 0.0;
+  /// Flight-recorder sequence id of this request's QueryEvent (0 when
+  /// event recording is off) — the join key between a response and its
+  /// record in the `--events-json` / postmortem dumps.
+  uint64_t query_id = 0;
 
   bool ok() const { return status.ok(); }
 };
@@ -153,7 +158,31 @@ struct EngineOptions {
   /// estimate_walks (the rough pass) and report degraded = true.
   /// 0 disables shedding.
   size_t load_shed_watermark = 0;
+
+  /// Per-query event telemetry: every executed request is recorded into
+  /// the process-wide flight recorder (obs::EventLog::Default()) and
+  /// rolling window. Also gated at runtime by obs::SetEnabled and
+  /// obs::SetEventsEnabled.
+  bool record_events = true;
+
+  /// Slow-query log: queries slower than this capture their full span
+  /// tree and are offered to obs::SlowQueryLog::Default(), which retains
+  /// the `slow_log_capacity` slowest. 0 disarms (the default — arming it
+  /// makes every query run under a tracer).
+  double slow_log_threshold_seconds = 0.0;
+  size_t slow_log_capacity = 16;
+
+  /// Service-level objectives evaluated over the default rolling window
+  /// and exported as `service.slo.<name>.*` gauges. Names must be
+  /// [a-z0-9_]+ and thresholds finite and >= 0 (validated at engine
+  /// creation).
+  std::vector<obs::SloSpec> slos;
 };
+
+/// Validates the serving knobs of `options` (cache sharding, slow-log
+/// threshold, SLO specs). Engine factories call this; exposed so CLIs can
+/// validate user input before building anything.
+Status ValidateEngineOptions(const EngineOptions& options);
 
 class QueryEngine {
  public:
@@ -237,7 +266,9 @@ class QueryEngine {
 
   Status ValidateRequest(const QueryRequest& request) const;
   Result<QueryResponse> Execute(const QueryRequest& request,
-                                double queue_seconds);
+                                double queue_seconds, bool submitted);
+  Result<QueryResponse> ExecuteStages(const QueryRequest& request,
+                                      double queue_seconds);
   void RunGroup(const QueryRequest& request, Workspace& workspace,
                 const QueryOverrides& overrides, uint32_t effective_k,
                 QueryResponse& response);

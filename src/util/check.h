@@ -29,6 +29,24 @@ inline void SetCheckContextProvider(CheckContextFn fn) {
   CheckContextProvider().store(fn, std::memory_order_release);
 }
 
+/// Optional last-gasp hook, called once per process after the failure
+/// message is printed and before abort(). `context` is the (possibly
+/// empty) string the context provider produced. Registered by higher
+/// layers (obs uses it to flush a postmortem dump); it must itself be
+/// abort-safe — a CHECK failure inside the hook falls straight through
+/// to abort() rather than recursing.
+using CheckAbortFn = void (*)(const char* file, int line, const char* expr,
+                              const char* context);
+
+inline std::atomic<CheckAbortFn>& CheckAbortHook() {
+  static std::atomic<CheckAbortFn> hook{nullptr};
+  return hook;
+}
+
+inline void SetCheckAbortHook(CheckAbortFn fn) {
+  CheckAbortHook().store(fn, std::memory_order_release);
+}
+
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   char context[256];
@@ -49,6 +67,16 @@ inline void SetCheckContextProvider(CheckContextFn fn) {
   // sanitizers' SIGABRT handler runs and prints a symbolized stack — the
   // test presets set handle_abort=1 for exactly this.
   std::fflush(stderr);
+  // The abort hook runs at most once process-wide: a CHECK failure on a
+  // second thread (or inside the hook itself) skips it and aborts
+  // directly, so the hook never re-enters and the dump it writes is the
+  // one from the first failure.
+  static std::atomic<bool> abort_hook_ran{false};
+  if (!abort_hook_ran.exchange(true, std::memory_order_acq_rel)) {
+    if (CheckAbortFn hook = CheckAbortHook().load(std::memory_order_acquire)) {
+      hook(file, line, expr, context);
+    }
+  }
   std::abort();
 }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/check.h"
+
 namespace simrank::fault {
 
 namespace {
@@ -53,6 +55,8 @@ Status ParseClause(const std::string& clause, std::string& site,
     config.action = Action::kCorrupt;
   } else if (action == "abort") {
     config.action = Action::kAbort;
+  } else if (action == "check") {
+    config.action = Action::kCheckFail;
   } else {
     return Status::InvalidArgument("fault spec: unknown action '" + action +
                                    "'");
@@ -145,7 +149,7 @@ Status FaultInjector::Hit(const char* site) {
     }
     if (fire) {
       action = state.config.action;
-      if (action != Action::kAbort) {
+      if (action != Action::kAbort && action != Action::kCheckFail) {
         ++state.injected;
         ++total_injected_;
       }
@@ -160,6 +164,13 @@ Status FaultInjector::Hit(const char* site) {
       std::fprintf(stderr, "fault injection: hard abort at site %s\n", site);
       std::fflush(stderr);
       std::_Exit(kAbortExitCode);
+    case Action::kCheckFail:
+      // Simulate an invariant violation at this site: the full
+      // SIMRANK_CHECK death path runs (span-path context, abort hooks —
+      // i.e. the crash postmortem dump), then abort(). Deliberately
+      // outside the injector lock: the abort hook may itself pass
+      // through fault points.
+      internal::CheckFailed("fault-injection", 0, site);
     case Action::kCorrupt:
       return Status::Corruption(std::string("injected fault at ") + site);
     case Action::kError:

@@ -18,8 +18,10 @@
 //
 // Spec grammar: comma-separated `site=action@trigger` clauses, where
 // action is `error` (synthetic Status::IoError), `corrupt` (synthetic
-// Status::Corruption) or `abort` (hard std::_Exit — simulates a crash:
-// no destructors, no stdio flush), and trigger is either `N` (fire on
+// Status::Corruption), `abort` (hard std::_Exit — simulates a crash:
+// no destructors, no stdio flush) or `check` (a SIMRANK_CHECK failure —
+// runs the registered abort hooks, so the postmortem dump machinery is
+// exercised), and trigger is either `N` (fire on
 // exactly the Nth hit of the site, 1-based) or `pX` (fire independently
 // with probability X on every hit, from a stream seeded by
 // SIMRANK_FAULT_SEED / set_seed — deterministic given the hit order).
@@ -44,9 +46,12 @@ namespace simrank::fault {
 
 /// What an armed site injects when its trigger fires.
 enum class Action {
-  kError,    ///< return Status::IoError from the site
-  kCorrupt,  ///< return Status::Corruption from the site
-  kAbort,    ///< std::_Exit(kAbortExitCode): a crash, not an exception
+  kError,      ///< return Status::IoError from the site
+  kCorrupt,    ///< return Status::Corruption from the site
+  kAbort,      ///< std::_Exit(kAbortExitCode): a crash, not an exception
+  kCheckFail,  ///< fail a SIMRANK_CHECK: abort() after running the
+               ///< registered check hooks (context + postmortem dump) —
+               ///< unlike kAbort, which simulates a hook-less hard crash
 };
 
 /// Exit code of Action::kAbort deaths, distinct from every documented CLI

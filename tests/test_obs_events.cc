@@ -1,0 +1,696 @@
+// Tests for the per-query event telemetry layer: the flight recorder
+// (obs::EventLog), rolling SLO windows (obs::RollingWindow), the
+// slow-query log (obs::SlowQueryLog), engine integration, the
+// "simrank-events-v1" exporter, and crash-time postmortem dumps.
+//
+// Concurrency coverage: the writer/snapshotter stress tests here are the
+// ones the tsan preset leans on (see docs/OBSERVABILITY.md).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_test_util.h"
+#include "obs/event_log.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/postmortem.h"
+#include "obs/rolling.h"
+#include "obs/slow_log.h"
+#include "obs/span.h"
+#include "service/query_engine.h"
+#include "test_helpers.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+
+namespace simrank {
+namespace {
+
+using obs::EventLog;
+using obs::QueryEvent;
+using obs::QueryEventMode;
+using obs::RollingWindow;
+using obs::SloSpec;
+using obs::SlowQueryLog;
+using obs::SlowQueryRecord;
+using obs::WindowSnapshot;
+using testjson::JsonValue;
+using testjson::ParseOrFail;
+
+QueryEvent MakeEvent(uint64_t duration_ns, uint8_t flags = 0,
+                     uint8_t status = 0) {
+  QueryEvent event;
+  event.start_ns = EventLog::NowNs();
+  event.duration_ns = duration_ns;
+  event.vertex = 7;
+  event.k = 10;
+  event.flags = flags;
+  event.status = status;
+  return event;
+}
+
+// --- EventLog ---------------------------------------------------------------
+
+TEST(EventLogTest, RecordAssignsIncreasingIds) {
+  EventLog log(64, 4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(log.Record(MakeEvent(100)), static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(log.TotalRecorded(), 10u);
+  std::vector<QueryEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].query_id, i + 1);
+  }
+}
+
+TEST(EventLogTest, WraparoundKeepsNewestEvents) {
+  // Single shard so the ring order is the global order.
+  EventLog log(8, 1);
+  EXPECT_EQ(log.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) log.Record(MakeEvent(100 + i));
+  EXPECT_EQ(log.TotalRecorded(), 20u);
+  std::vector<QueryEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The 8 newest records (ids 13..20), oldest first.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].query_id, 13 + i);
+    EXPECT_EQ(events[i].duration_ns, 100 + 12 + i);
+  }
+}
+
+TEST(EventLogTest, CapacityIsClampedToShardCount) {
+  EventLog log(3, 8);  // fewer slots than shards: one slot per shard
+  EXPECT_EQ(log.num_shards(), 8u);
+  EXPECT_EQ(log.capacity(), 8u);
+
+  EventLog degenerate(0, 0);  // both clamp to >= 1
+  EXPECT_EQ(degenerate.num_shards(), 1u);
+  EXPECT_EQ(degenerate.capacity(), 1u);
+}
+
+TEST(EventLogTest, KillSwitchesDisableRecording) {
+  EventLog log(16, 2);
+
+  obs::SetEventsEnabled(false);
+  EXPECT_EQ(log.Record(MakeEvent(1)), 0u);
+  obs::SetEventsEnabled(true);
+
+  obs::SetEnabled(false);
+  EXPECT_EQ(log.Record(MakeEvent(1)), 0u);
+  obs::SetEnabled(true);
+
+  EXPECT_EQ(log.TotalRecorded(), 0u);
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_NE(log.Record(MakeEvent(1)), 0u);
+}
+
+TEST(EventLogTest, ClearRestartsSequence) {
+  EventLog log(16, 2);
+  log.Record(MakeEvent(1));
+  log.Record(MakeEvent(2));
+  log.Clear();
+  EXPECT_EQ(log.TotalRecorded(), 0u);
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.Record(MakeEvent(3)), 1u);
+}
+
+TEST(EventLogStressTest, ConcurrentWritersAndSnapshotters) {
+  // TSan target: writers race Record against Snapshot readers; asserts
+  // the merged view is always id-sorted and within capacity.
+  EventLog log(256, 4);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        EXPECT_NE(log.Record(MakeEvent(static_cast<uint64_t>(i))), 0u);
+      }
+    });
+  }
+  for (int s = 0; s < 2; ++s) {
+    threads.emplace_back([&log, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<QueryEvent> events = log.Snapshot();
+        EXPECT_LE(events.size(), log.capacity());
+        for (size_t i = 1; i < events.size(); ++i) {
+          EXPECT_LT(events[i - 1].query_id, events[i].query_id);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(log.TotalRecorded(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  std::vector<QueryEvent> events = log.Snapshot();
+  EXPECT_LE(events.size(), log.capacity());
+  EXPECT_FALSE(events.empty());
+}
+
+// --- RollingWindow ----------------------------------------------------------
+
+TEST(RollingWindowTest, AggregatesInWindowBuckets) {
+  RollingWindow window(4, 1);
+  window.Record(100, 1'000'000, 0, 0);
+  window.Record(101, 2'000'000, obs::kEventCacheHit, 0);
+  window.Record(102, 3'000'000, obs::kEventShed | obs::kEventDegraded, 0);
+  window.Record(103, 4'000'000, 0, 3);  // kIoError => error
+
+  WindowSnapshot snapshot = window.Snapshot(103);
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_EQ(snapshot.errors, 1u);
+  EXPECT_EQ(snapshot.shed, 1u);
+  EXPECT_EQ(snapshot.degraded, 1u);
+  EXPECT_EQ(snapshot.cache_hits, 1u);
+  EXPECT_EQ(snapshot.latency_max_ns, 4'000'000u);
+  EXPECT_EQ(snapshot.latency_sum_ns, 10'000'000u);
+  ASSERT_EQ(snapshot.buckets.size(), 4u);
+  EXPECT_EQ(snapshot.buckets.front().second, 100u);
+  EXPECT_EQ(snapshot.buckets.back().second, 103u);
+  // Log-linear buckets quantize to ~12.5%; the representative halves that.
+  EXPECT_NEAR(snapshot.latency_p50_ns, 2'000'000.0, 2'000'000.0 * 0.15);
+  EXPECT_NEAR(snapshot.latency_p99_ns, 4'000'000.0, 4'000'000.0 * 0.15);
+}
+
+TEST(RollingWindowTest, OldBucketsAgeOut) {
+  RollingWindow window(4, 1);
+  for (uint64_t second = 100; second <= 104; ++second) {
+    window.Record(second, 1'000'000, 0, 0);
+  }
+  // Second 104 reuses the bucket of second 100; only 101..104 remain.
+  WindowSnapshot snapshot = window.Snapshot(104);
+  EXPECT_EQ(snapshot.count, 4u);
+  ASSERT_EQ(snapshot.buckets.size(), 4u);
+  EXPECT_EQ(snapshot.buckets.front().second, 101u);
+
+  // Advancing the clock far past the span empties the window.
+  EXPECT_EQ(window.Snapshot(1000).count, 0u);
+}
+
+TEST(RollingWindowTest, LatencySloViolationFlipsGauge) {
+  RollingWindow window(4, 1);
+  SloSpec spec;
+  spec.name = "test_ev_p99";
+  spec.objective = SloSpec::Objective::kLatencyP99;
+  spec.threshold = 0.001;  // 1 ms
+  window.SetSlos({spec});
+
+  window.Record(200, 2'000'000, 0, 0);  // 2 ms > 1 ms threshold
+  WindowSnapshot snapshot = window.Snapshot(200);
+  ASSERT_EQ(snapshot.slos.size(), 1u);
+  EXPECT_FALSE(snapshot.slos[0].ok);
+  EXPECT_EQ(snapshot.slos[0].samples, 1u);
+  EXPECT_NEAR(snapshot.slos[0].value, 0.002, 0.002 * 0.15);
+
+  obs::MetricsSnapshot metrics = obs::MetricsRegistry::Default().Snapshot();
+  ASSERT_TRUE(metrics.gauges.count("service.slo.test_ev_p99.ok"));
+  EXPECT_EQ(metrics.gauges["service.slo.test_ev_p99.ok"], 0);
+  const int64_t value_us = metrics.gauges["service.slo.test_ev_p99.value_us"];
+  EXPECT_NEAR(static_cast<double>(value_us), 2000.0, 2000.0 * 0.15);
+}
+
+TEST(RollingWindowTest, RateSlosAndVacuousOk) {
+  RollingWindow window(4, 1);
+  SloSpec errors;
+  errors.name = "test_ev_errors";
+  errors.objective = SloSpec::Objective::kErrorRate;
+  errors.threshold = 0.10;
+  window.SetSlos({errors});
+
+  // Empty window: vacuously ok.
+  WindowSnapshot empty = window.Snapshot(300);
+  ASSERT_EQ(empty.slos.size(), 1u);
+  EXPECT_TRUE(empty.slos[0].ok);
+  EXPECT_EQ(empty.slos[0].samples, 0u);
+
+  // 1 error in 4 => 25% > 10%.
+  window.Record(300, 1000, 0, 0);
+  window.Record(300, 1000, 0, 0);
+  window.Record(300, 1000, 0, 0);
+  window.Record(300, 1000, 0, 3);
+  WindowSnapshot snapshot = window.Snapshot(300);
+  EXPECT_FALSE(snapshot.slos[0].ok);
+  EXPECT_DOUBLE_EQ(snapshot.slos[0].value, 0.25);
+
+  obs::MetricsSnapshot metrics = obs::MetricsRegistry::Default().Snapshot();
+  EXPECT_EQ(metrics.gauges["service.slo.test_ev_errors.ok"], 0);
+  EXPECT_EQ(metrics.gauges["service.slo.test_ev_errors.value_ppm"], 250000);
+}
+
+TEST(RollingWindowTest, KillSwitchDisablesRecording) {
+  RollingWindow window(4, 1);
+  obs::SetEventsEnabled(false);
+  window.Record(400, 1000, 0, 0);
+  obs::SetEventsEnabled(true);
+  EXPECT_EQ(window.Snapshot(400).count, 0u);
+}
+
+TEST(RollingWindowStressTest, ConcurrentRecordAndSnapshot) {
+  RollingWindow window(8, 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&window, w] {
+      for (int i = 0; i < 5000; ++i) {
+        window.Record(500 + static_cast<uint64_t>(i % 4),
+                      static_cast<uint64_t>(1000 + i),
+                      i % 8 == 0 ? obs::kEventCacheHit : 0,
+                      i % 16 == 0 ? 3 : 0);
+      }
+      (void)w;
+    });
+  }
+  threads.emplace_back([&window, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      WindowSnapshot snapshot = window.Snapshot(503);
+      EXPECT_LE(snapshot.errors, snapshot.count);
+      EXPECT_LE(snapshot.cache_hits, snapshot.count);
+    }
+  });
+  for (int w = 0; w < 4; ++w) threads[w].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  EXPECT_EQ(window.Snapshot(503).count, 4u * 5000u);
+}
+
+// --- SlowQueryLog -----------------------------------------------------------
+
+SlowQueryRecord MakeSlowRecord(uint64_t duration_ns) {
+  SlowQueryRecord record;
+  record.event = MakeEvent(duration_ns);
+  record.vertices = {7};
+  return record;
+}
+
+TEST(SlowQueryLogTest, RetainsTopNSlowest) {
+  SlowQueryLog log(4);
+  log.Configure(1000, 2);
+  EXPECT_EQ(log.capacity(), 2u);
+
+  EXPECT_FALSE(log.Offer(MakeSlowRecord(500)));   // under threshold
+  EXPECT_TRUE(log.Offer(MakeSlowRecord(2000)));
+  EXPECT_TRUE(log.Offer(MakeSlowRecord(1500)));
+  EXPECT_TRUE(log.Offer(MakeSlowRecord(3000)));   // evicts 1500
+  EXPECT_FALSE(log.Offer(MakeSlowRecord(1200)));  // fastest retained is 2000
+
+  std::vector<SlowQueryRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event.duration_ns, 3000u);
+  EXPECT_EQ(records[1].event.duration_ns, 2000u);
+}
+
+TEST(SlowQueryLogTest, DisarmedAndKillSwitchedLogRejects) {
+  SlowQueryLog log(4);
+  EXPECT_FALSE(log.armed());  // threshold defaults to 0
+  EXPECT_FALSE(log.Offer(MakeSlowRecord(1'000'000)));
+
+  log.Configure(1000, 4);
+  EXPECT_TRUE(log.armed());
+  obs::SetEventsEnabled(false);
+  EXPECT_FALSE(log.armed());
+  EXPECT_FALSE(log.Offer(MakeSlowRecord(1'000'000)));
+  obs::SetEventsEnabled(true);
+  EXPECT_TRUE(log.Offer(MakeSlowRecord(1'000'000)));
+  EXPECT_EQ(log.size(), 1u);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(SlowQueryLogTest, ShrinkingCapacityKeepsSlowest) {
+  SlowQueryLog log(8);
+  log.Configure(1, 8);
+  for (uint64_t d = 100; d <= 800; d += 100) {
+    EXPECT_TRUE(log.Offer(MakeSlowRecord(d)));
+  }
+  log.Configure(1, 2);
+  std::vector<SlowQueryRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event.duration_ns, 800u);
+  EXPECT_EQ(records[1].event.duration_ns, 700u);
+}
+
+TEST(SpanNodeTest, CloneIsDeep) {
+  obs::Tracer tracer;
+  {
+    obs::TraceScope scope(tracer);
+    obs::ScopedSpan outer("outer");
+    obs::ScopedSpan inner("inner");
+  }
+  std::unique_ptr<obs::SpanNode> clone = tracer.root().Clone();
+  ASSERT_NE(clone, nullptr);
+  const obs::SpanNode* outer = clone->FindChild("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NE(outer, tracer.root().FindChild("outer"));
+  EXPECT_NE(outer->FindChild("inner"), nullptr);
+  EXPECT_EQ(outer->count, 1u);
+}
+
+// --- Engine integration -----------------------------------------------------
+
+class EngineEventsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EventLog::Default().Clear();
+    SlowQueryLog::Default().Configure(0, SlowQueryLog::kDefaultCapacity);
+    SlowQueryLog::Default().Clear();
+    RollingWindow::Default().Clear();
+  }
+  void TearDown() override {
+    SlowQueryLog::Default().Configure(0, SlowQueryLog::kDefaultCapacity);
+  }
+};
+
+service::EngineOptions SmallEngineOptions() {
+  service::EngineOptions options;
+  options.num_threads = 2;
+  options.search.profile_walks = 64;
+  options.search.estimate_walks = 8;
+  options.search.refine_walks = 32;
+  return options;
+}
+
+TEST_F(EngineEventsTest, QueryRecordsVertexEvent) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 901, 40);
+  auto engine = service::QueryEngine::Create(graph, SmallEngineOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+
+  auto response =
+      (*engine)->Query(service::QueryRequest::ForVertex(5).WithK(8));
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->query_id, 0u);
+
+  std::vector<QueryEvent> events = EventLog::Default().Snapshot();
+  ASSERT_FALSE(events.empty());
+  const QueryEvent& event = events.back();
+  EXPECT_EQ(event.query_id, response->query_id);
+  EXPECT_EQ(event.mode, QueryEventMode::kVertex);
+  EXPECT_EQ(event.vertex, 5u);
+  EXPECT_EQ(event.k, 8u);
+  EXPECT_EQ(event.group_size, 1u);
+  EXPECT_EQ(event.status, 0u);
+  EXPECT_GT(event.walks, 0u);
+  EXPECT_GT(event.duration_ns, 0u);
+  EXPECT_EQ(event.queue_wait_ns, 0u);  // synchronous path never queued
+  EXPECT_EQ(event.flags & obs::kEventSubmitted, 0);
+  EXPECT_EQ(event.flags & obs::kEventCacheHit, 0);
+}
+
+TEST_F(EngineEventsTest, CacheHitEventHasZeroWalks) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 902, 40);
+  auto engine = service::QueryEngine::Create(graph, SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+
+  auto first = (*engine)->Query(service::QueryRequest::ForVertex(3));
+  ASSERT_TRUE(first.ok());
+  auto second = (*engine)->Query(service::QueryRequest::ForVertex(3));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+
+  std::vector<QueryEvent> events = EventLog::Default().Snapshot();
+  ASSERT_GE(events.size(), 2u);
+  const QueryEvent& hit = events.back();
+  EXPECT_EQ(hit.query_id, second->query_id);
+  EXPECT_NE(hit.flags & obs::kEventCacheHit, 0);
+  EXPECT_EQ(hit.walks, 0u);
+}
+
+TEST_F(EngineEventsTest, SubmittedEventCarriesQueueWait) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 903, 40);
+  auto engine = service::QueryEngine::Create(graph, SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+
+  auto future = (*engine)->Submit(
+      service::QueryRequest::ForVertex(9).WithBypassCache());
+  ASSERT_TRUE(future.ok());
+  auto response = future->get();
+  ASSERT_TRUE(response.ok());
+
+  std::vector<QueryEvent> events = EventLog::Default().Snapshot();
+  ASSERT_FALSE(events.empty());
+  const QueryEvent& event = events.back();
+  EXPECT_NE(event.flags & obs::kEventSubmitted, 0);
+  // queue_wait_ns mirrors response.queue_seconds (both from the pool's
+  // enqueue -> start clock).
+  EXPECT_NEAR(static_cast<double>(event.queue_wait_ns),
+              response->queue_seconds * 1e9,
+              1e6 + response->queue_seconds * 1e9 * 0.5);
+}
+
+TEST_F(EngineEventsTest, GroupEventRecordsGroupSize) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 904, 40);
+  auto engine = service::QueryEngine::Create(graph, SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+
+  auto response =
+      (*engine)->Query(service::QueryRequest::ForGroup({2, 11, 17}));
+  ASSERT_TRUE(response.ok());
+
+  std::vector<QueryEvent> events = EventLog::Default().Snapshot();
+  ASSERT_FALSE(events.empty());
+  const QueryEvent& event = events.back();
+  EXPECT_EQ(event.mode, QueryEventMode::kGroup);
+  EXPECT_EQ(event.group_size, 3u);
+  EXPECT_EQ(event.vertex, 2u);
+}
+
+TEST_F(EngineEventsTest, RecordEventsOffDisablesRecording) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 905, 40);
+  service::EngineOptions options = SmallEngineOptions();
+  options.record_events = false;
+  auto engine = service::QueryEngine::Create(graph, options);
+  ASSERT_TRUE(engine.ok());
+
+  auto response = (*engine)->Query(service::QueryRequest::ForVertex(1));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->query_id, 0u);
+  EXPECT_TRUE(EventLog::Default().Snapshot().empty());
+}
+
+TEST_F(EngineEventsTest, SlowLogCapturesSpanTree) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 906, 40);
+  service::EngineOptions options = SmallEngineOptions();
+  options.slow_log_threshold_seconds = 1e-12;  // everything is slow
+  options.slow_log_capacity = 4;
+  auto engine = service::QueryEngine::Create(graph, options);
+  ASSERT_TRUE(engine.ok());
+
+  auto response = (*engine)->Query(
+      service::QueryRequest::ForVertex(4).WithBypassCache());
+  ASSERT_TRUE(response.ok());
+
+  std::vector<SlowQueryRecord> records = SlowQueryLog::Default().Snapshot();
+  ASSERT_FALSE(records.empty());
+  const SlowQueryRecord& record = records.front();
+  EXPECT_EQ(record.vertices, std::vector<uint32_t>{4});
+  ASSERT_NE(record.trace, nullptr);
+  EXPECT_NE(record.trace->FindChild("engine_query"), nullptr);
+}
+
+TEST_F(EngineEventsTest, SloSpecsPublishServiceGauges) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 907, 40);
+  service::EngineOptions options = SmallEngineOptions();
+  SloSpec spec;
+  spec.name = "test_engine_p99";
+  spec.objective = SloSpec::Objective::kLatencyP99;
+  spec.threshold = 10.0;  // generous: queries finish well under 10 s
+  options.slos = {spec};
+  auto engine = service::QueryEngine::Create(graph, options);
+  ASSERT_TRUE(engine.ok());
+
+  ASSERT_TRUE((*engine)->Query(service::QueryRequest::ForVertex(6)).ok());
+  engine->reset();  // dtor refreshes the gauges
+
+  obs::MetricsSnapshot metrics = obs::MetricsRegistry::Default().Snapshot();
+  ASSERT_TRUE(metrics.gauges.count("service.slo.test_engine_p99.ok"));
+  EXPECT_EQ(metrics.gauges["service.slo.test_engine_p99.ok"], 1);
+}
+
+TEST_F(EngineEventsTest, InvalidSloSpecIsRejected) {
+  DirectedGraph graph = testing::SmallRandomGraph(20, 908, 10);
+  service::EngineOptions options = SmallEngineOptions();
+  SloSpec spec;
+  spec.name = "Bad Name";  // spaces/uppercase: not [a-z0-9_]+
+  options.slos = {spec};
+  auto engine = service::QueryEngine::Create(graph, options);
+  EXPECT_FALSE(engine.ok());
+
+  options.slos.clear();
+  options.slow_log_threshold_seconds = -1.0;
+  EXPECT_FALSE(service::QueryEngine::Create(graph, options).ok());
+}
+
+// --- simrank-events-v1 JSON -------------------------------------------------
+
+TEST_F(EngineEventsTest, EventsJsonRoundTrips) {
+  obs::EventsReport report;
+  QueryEvent event = MakeEvent(1'500'000, obs::kEventCacheHit, 0);
+  event.query_id = 42;
+  event.group_size = 1;
+  report.events.push_back(event);
+
+  SlowQueryRecord slow = MakeSlowRecord(2'000'000);
+  slow.event.query_id = 43;
+  obs::Tracer tracer;
+  {
+    obs::TraceScope scope(tracer);
+    obs::ScopedSpan span("engine_query");
+  }
+  slow.trace = tracer.root().Clone();
+  report.slow.push_back(std::move(slow));
+
+  RollingWindow window(4, 1);
+  SloSpec spec;
+  spec.name = "test_json_p99";
+  spec.objective = SloSpec::Objective::kLatencyP99;
+  spec.threshold = 0.5;
+  window.SetSlos({spec});
+  window.Record(600, 1'000'000, 0, 0);
+  report.window = window.Snapshot(600);
+
+  JsonValue doc = ParseOrFail(obs::EventsToJson(report));
+  EXPECT_EQ(doc.At("schema").string, "simrank-events-v1");
+  ASSERT_EQ(doc.At("events").array.size(), 1u);
+  const JsonValue& ev = doc.At("events").array[0];
+  EXPECT_EQ(ev.At("id").number, 42.0);
+  EXPECT_EQ(ev.At("duration_ns").number, 1'500'000.0);
+  EXPECT_EQ(ev.At("mode").string, "vertex");
+  EXPECT_EQ(ev.At("status").string, "OK");
+  EXPECT_TRUE(ev.At("cache_hit").boolean);
+  EXPECT_FALSE(ev.At("submitted").boolean);
+
+  ASSERT_EQ(doc.At("slow").array.size(), 1u);
+  const JsonValue& sl = doc.At("slow").array[0];
+  EXPECT_EQ(sl.At("event").At("id").number, 43.0);
+  ASSERT_EQ(sl.At("vertices").array.size(), 1u);
+  EXPECT_NE(sl.At("trace").kind, JsonValue::Kind::kNull);
+
+  const JsonValue& win = doc.At("window");
+  EXPECT_EQ(win.At("count").number, 1.0);
+  ASSERT_EQ(win.At("slo").array.size(), 1u);
+  EXPECT_EQ(win.At("slo").array[0].At("name").string, "test_json_p99");
+  EXPECT_TRUE(win.At("slo").array[0].At("ok").boolean);
+
+  // Not a postmortem dump: no crash context.
+  EXPECT_EQ(doc.object.count("postmortem"), 0u);
+}
+
+TEST_F(EngineEventsTest, NullTraceSerializesAsNull) {
+  obs::EventsReport report;
+  report.slow.push_back(MakeSlowRecord(1000));  // no trace attached
+  JsonValue doc = ParseOrFail(obs::EventsToJson(report));
+  ASSERT_EQ(doc.At("slow").array.size(), 1u);
+  EXPECT_EQ(doc.At("slow").array[0].At("trace").kind,
+            JsonValue::Kind::kNull);
+}
+
+// --- postmortem dumps -------------------------------------------------------
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST_F(EngineEventsTest, WritePostmortemDumpDirectly) {
+  EventLog::Default().Record(MakeEvent(1234));
+  obs::PostmortemInfo info;
+  info.reason = "CHECK failed at test.cc:1: false";
+  info.span_path = "engine_query/profile";
+  const std::string path = TempPath("events_pm_direct.json");
+  Status status = obs::WritePostmortemDump(path, info);
+  ASSERT_TRUE(status.ok()) << status.message();
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+
+  JsonValue doc = ParseOrFail(text);
+  EXPECT_EQ(doc.At("schema").string, "simrank-events-v1");
+  EXPECT_GE(doc.At("events").array.size(), 1u);
+  const JsonValue& pm = doc.At("postmortem");
+  EXPECT_EQ(pm.At("reason").string, "CHECK failed at test.cc:1: false");
+  EXPECT_EQ(pm.At("span_path").string, "engine_query/profile");
+}
+
+using EngineEventsDeathTest = EngineEventsTest;
+
+TEST_F(EngineEventsDeathTest, CheckFailureWritesPostmortemDump) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string path = TempPath("events_pm_check.json");
+  std::remove(path.c_str());
+
+  EXPECT_DEATH(
+      {
+        obs::SetPostmortemPath(path);
+        obs::EventLog::Default().Record(MakeEvent(4321));
+        SIMRANK_CHECK(false);
+      },
+      "CHECK failed");
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr) << "postmortem dump missing: " << path;
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+
+  JsonValue doc = ParseOrFail(text);
+  EXPECT_EQ(doc.At("schema").string, "simrank-events-v1");
+  const JsonValue& pm = doc.At("postmortem");
+  EXPECT_NE(pm.At("reason").string.find("CHECK failed"), std::string::npos);
+}
+
+#ifdef SIMRANK_FAULT_INJECTION
+TEST_F(EngineEventsDeathTest, InjectedCheckFailureWritesPostmortemDump) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string path = TempPath("events_pm_fault.json");
+  std::remove(path.c_str());
+
+  EXPECT_DEATH(
+      {
+        fault::SiteConfig config;
+        config.action = fault::Action::kCheckFail;
+        config.on_hit = 1;
+        fault::FaultInjector::Default().Arm("test.events.site", config);
+        obs::SetPostmortemPath(path);
+        obs::EventLog::Default().Record(MakeEvent(999));
+        Status status = fault::Hit("test.events.site");
+        (void)status;
+      },
+      "CHECK failed");
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr) << "postmortem dump missing: " << path;
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  EXPECT_NE(text.find("simrank-events-v1"), std::string::npos);
+  EXPECT_NE(text.find("test.events.site"), std::string::npos);
+}
+#endif  // SIMRANK_FAULT_INJECTION
+
+}  // namespace
+}  // namespace simrank

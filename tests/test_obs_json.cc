@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "json_test_util.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -22,171 +23,11 @@
 namespace simrank::obs {
 namespace {
 
-// ---------- a minimal JSON model + parser (test-only) ----------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue& At(const std::string& key) const {
-    auto it = object.find(key);
-    EXPECT_NE(it, object.end()) << "missing key " << key;
-    static const JsonValue kNullValue;
-    return it == object.end() ? kNullValue : it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  bool Parse(JsonValue& out) {
-    const bool ok = ParseValue(out);
-    SkipSpace();
-    return ok && pos_ == text_.size();
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ConsumeLiteral(std::string_view literal) {
-    if (text_.substr(pos_, literal.size()) == literal) {
-      pos_ += literal.size();
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseString(std::string& out) {
-    if (!Consume('"')) return false;
-    out.clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) return false;
-      const char escape = text_[pos_++];
-      switch (escape) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return false;
-          const unsigned code = static_cast<unsigned>(
-              std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
-          if (code > 0x7F) return false;  // exporter only escapes ASCII
-          out += static_cast<char>(code);
-          pos_ += 4;
-          break;
-        }
-        default: return false;
-      }
-    }
-    return pos_ < text_.size() && text_[pos_++] == '"';
-  }
-
-  bool ParseValue(JsonValue& out) {
-    SkipSpace();
-    if (pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out.kind = JsonValue::Kind::kString;
-      return ParseString(out.string);
-    }
-    if (ConsumeLiteral("null")) {
-      out.kind = JsonValue::Kind::kNull;
-      return true;
-    }
-    if (ConsumeLiteral("true")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = true;
-      return true;
-    }
-    if (ConsumeLiteral("false")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = false;
-      return true;
-    }
-    // Number.
-    size_t end = pos_;
-    while (end < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
-            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
-            text_[end] == 'e' || text_[end] == 'E')) {
-      ++end;
-    }
-    if (end == pos_) return false;
-    out.kind = JsonValue::Kind::kNumber;
-    out.number = std::stod(std::string(text_.substr(pos_, end - pos_)));
-    pos_ = end;
-    return true;
-  }
-
-  bool ParseObject(JsonValue& out) {
-    if (!Consume('{')) return false;
-    out.kind = JsonValue::Kind::kObject;
-    if (Consume('}')) return true;
-    do {
-      std::string key;
-      SkipSpace();
-      if (!ParseString(key)) return false;
-      if (!Consume(':')) return false;
-      JsonValue value;
-      if (!ParseValue(value)) return false;
-      out.object.emplace(std::move(key), std::move(value));
-    } while (Consume(','));
-    return Consume('}');
-  }
-
-  bool ParseArray(JsonValue& out) {
-    if (!Consume('[')) return false;
-    out.kind = JsonValue::Kind::kArray;
-    SkipSpace();
-    if (Consume(']')) return true;
-    do {
-      JsonValue value;
-      if (!ParseValue(value)) return false;
-      out.array.push_back(std::move(value));
-    } while (Consume(','));
-    return Consume(']');
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-JsonValue ParseOrFail(const std::string& text) {
-  JsonValue value;
-  JsonParser parser(text);
-  EXPECT_TRUE(parser.Parse(value)) << "unparseable JSON: " << text;
-  return value;
-}
+// The shared in-test JSON model + parser lives in json_test_util.h
+// (also used by test_obs_events.cc).
+using testjson::JsonParser;
+using testjson::JsonValue;
+using testjson::ParseOrFail;
 
 // ---------- JsonWriter ----------
 

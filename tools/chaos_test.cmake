@@ -144,5 +144,38 @@ if(zero_injected)
 endif()
 file(REMOVE ${out} ${obs})
 
+# Postmortem dump: inject a SIMRANK_CHECK failure mid-query-stream with
+# crash dumps armed. The process must die abnormally (CHECK -> abort) but
+# leave a parseable "simrank-events-v1" document behind, stamped with the
+# span the failing thread was in.
+set(pm ${WORK_DIR}/chaos_postmortem.json)
+file(REMOVE ${pm})
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SIMRANK_FAULTS=service.query.exec=check@40
+          ${CLI} query ${graph} --index=${index} --vertex=0 --repeat=50
+          --slow-log=1e-6 --postmortem=${pm}
+  RESULT_VARIABLE code OUTPUT_VARIABLE o ERROR_VARIABLE e)
+if(code EQUAL 0)
+  message(FATAL_ERROR "postmortem: injected CHECK failure did not kill the "
+                      "run\n${o}\n${e}")
+endif()
+if(NOT EXISTS ${pm})
+  message(FATAL_ERROR "postmortem: no dump at ${pm}\n${o}\n${e}")
+endif()
+file(READ ${pm} pm_json)
+if(NOT pm_json MATCHES "simrank-events-v1")
+  message(FATAL_ERROR "postmortem dump is not a simrank-events-v1 document:\n"
+                      "${pm_json}")
+endif()
+if(NOT pm_json MATCHES "\"postmortem\"")
+  message(FATAL_ERROR "postmortem dump lacks the crash context:\n${pm_json}")
+endif()
+if(NOT pm_json MATCHES "engine_query")
+  message(FATAL_ERROR "postmortem dump lacks the failing span path:\n"
+                      "${pm_json}")
+endif()
+file(REMOVE ${pm})
+message(STATUS "chaos scenario postmortem passed")
+
 file(REMOVE ${golden} ${graph} ${index})
 message(STATUS "chaos test passed")

@@ -32,6 +32,8 @@
 #include "graph/traversal.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
+#include "obs/rolling.h"
 #include "simrank/simrank.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -127,6 +129,9 @@ int Usage() {
                "             [--decay=0.6] [--steps=11]\n"
                "  query      GRAPH --vertex=V [--index=PATH] [--k=20]\n"
                "             [--threshold=0.01] [--estimate-diagonal]\n"
+               "             [--repeat=N] [--slow-log=SECONDS]\n"
+               "             [--slow-log-capacity=16]\n"
+               "             [--slo=p99:0.05,error_rate:0.01,...]\n"
                "  pair       GRAPH --u=U --v=V [--walks=100]\n"
                "  exact      GRAPH --vertex=V [--k=20]  (deterministic "
                "oracle)\n"
@@ -138,6 +143,13 @@ int Usage() {
                "  --obs-json=PATH  write an obs metrics snapshot (JSON,\n"
                "                   simrank-obs-v1) after the command runs,\n"
                "                   even when it fails\n"
+               "  --events-json=PATH  write the per-query event report\n"
+               "                   (JSON, simrank-events-v1: flight\n"
+               "                   recorder, slow-query log, SLO window)\n"
+               "                   after the command runs, even on failure\n"
+               "  --postmortem=PATH  arm crash dumps: a SIMRANK_CHECK\n"
+               "                   failure writes a simrank-events-v1\n"
+               "                   document to PATH before aborting\n"
                "exit codes: 0 ok, 1 internal, 2 usage, 3 io, 4 corruption,\n"
                "            5 deadline/degraded\n");
   return 2;
@@ -160,6 +172,53 @@ SearchOptions OptionsFromFlags(const Flags& flags) {
   options.seed = flags.GetInt("seed", options.seed);
   options.estimate_diagonal = flags.GetBool("estimate-diagonal");
   return options;
+}
+
+// Parses the --slo grammar: comma-separated `objective:threshold` clauses
+// where objective is p50 | p95 | p99 (seconds) or error_rate | shed_rate |
+// degraded_rate (fraction), e.g. "p99:0.05,error_rate:0.01". The objective
+// token doubles as the SLO name (gauges service.slo.p99.* etc.).
+Status ParseSlos(const std::string& spec, std::vector<obs::SloSpec>* slos) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string clause = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (clause.empty()) continue;
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= clause.size()) {
+      return Status::InvalidArgument(
+          "--slo: expected objective:threshold, got '" + clause + "'");
+    }
+    obs::SloSpec slo;
+    slo.name = clause.substr(0, colon);
+    if (slo.name == "p50") {
+      slo.objective = obs::SloSpec::Objective::kLatencyP50;
+    } else if (slo.name == "p95") {
+      slo.objective = obs::SloSpec::Objective::kLatencyP95;
+    } else if (slo.name == "p99") {
+      slo.objective = obs::SloSpec::Objective::kLatencyP99;
+    } else if (slo.name == "error_rate") {
+      slo.objective = obs::SloSpec::Objective::kErrorRate;
+    } else if (slo.name == "shed_rate") {
+      slo.objective = obs::SloSpec::Objective::kShedRate;
+    } else if (slo.name == "degraded_rate") {
+      slo.objective = obs::SloSpec::Objective::kDegradedRate;
+    } else {
+      return Status::InvalidArgument("--slo: unknown objective '" +
+                                     slo.name + "'");
+    }
+    char* end = nullptr;
+    slo.threshold = std::strtod(clause.c_str() + colon + 1, &end);
+    if (end != clause.c_str() + clause.size()) {
+      return Status::InvalidArgument("--slo: bad threshold in '" + clause +
+                                     "'");
+    }
+    slos->push_back(std::move(slo));
+  }
+  return Status::OK();
 }
 
 void PrintRanking(const std::vector<ScoredVertex>& ranking) {
@@ -260,9 +319,17 @@ int CmdQuery(const Flags& flags) {
   if (flags.positional().empty()) return Usage();
   auto graph = LoadGraph(flags.positional()[0]);
   if (!graph.ok()) return Fail(graph.status());
-  auto engine = MakeEngine(*graph, flags, service::EngineOptions{});
+  service::EngineOptions options;
+  options.slow_log_threshold_seconds = flags.GetDouble("slow-log", 0.0);
+  options.slow_log_capacity = static_cast<size_t>(
+      flags.GetInt("slow-log-capacity", options.slow_log_capacity));
+  const Status slo_status = ParseSlos(flags.GetString("slo"), &options.slos);
+  if (!slo_status.ok()) return Fail(slo_status);
+  auto engine = MakeEngine(*graph, flags, std::move(options));
   if (!engine.ok()) return Fail(engine.status());
   const Vertex vertex = static_cast<Vertex>(flags.GetInt("vertex", 0));
+  const uint64_t repeat = flags.GetInt("repeat", 1);
+  if (repeat < 1) return Fail("--repeat must be >= 1");
   auto response =
       (*engine)->Query(service::QueryRequest::ForVertex(vertex));
   if (!response.ok()) return Fail(response.status());
@@ -272,6 +339,18 @@ int CmdQuery(const Flags& flags) {
       response->engine_seconds * 1e3,
       static_cast<unsigned long long>(response->stats.candidates_enumerated),
       static_cast<unsigned long long>(response->stats.refined));
+  // Repeats walk the vertex space from --vertex so every request is a
+  // distinct query — traffic for the event telemetry (--events-json,
+  // --slo, --slow-log) rather than N cache hits on one key.
+  for (uint64_t i = 1; i < repeat; ++i) {
+    const Vertex v = static_cast<Vertex>((vertex + i) % graph->NumVertices());
+    auto r = (*engine)->Query(service::QueryRequest::ForVertex(v));
+    if (!r.ok()) return Fail(r.status());
+  }
+  if (repeat > 1) {
+    std::printf("ran %llu queries\n",
+                static_cast<unsigned long long>(repeat));
+  }
   return 0;
 }
 
@@ -381,17 +460,31 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
+  // Arm crash dumps before any work runs so a CHECK failure anywhere in
+  // the command leaves an artifact.
+  const std::string postmortem = flags.GetString("postmortem");
+  if (!postmortem.empty()) obs::SetPostmortemPath(postmortem);
   const int code = RunCommand(command, flags);
-  // The snapshot is written even on failure: chaos tests read faults.*
-  // counters from runs that (deliberately) errored out.
+  // The reports are written even on failure: chaos tests read faults.*
+  // counters and event records from runs that (deliberately) errored out.
+  int report_code = 0;
   const std::string obs_json = flags.GetString("obs-json");
   if (!obs_json.empty()) {
     const Status status =
         obs::WriteJson(obs_json, obs::MetricsRegistry::Default().Snapshot());
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      if (code == 0) return ExitCodeFor(status);
+      report_code = ExitCodeFor(status);
     }
   }
-  return code;
+  const std::string events_json = flags.GetString("events-json");
+  if (!events_json.empty()) {
+    const Status status =
+        obs::WriteEventsJson(events_json, obs::CollectDefaultEventsReport());
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      if (report_code == 0) report_code = ExitCodeFor(status);
+    }
+  }
+  return code != 0 ? code : report_code;
 }

@@ -1,0 +1,198 @@
+// Backend-vs-backend comparison over the SearcherBackend registry: for a
+// small (exact-tier) and a mid-size (sling-tier) dataset, measure every
+// backend's preprocess time, index footprint, mean query latency and
+// accuracy against the exact linear-formulation oracle, then demonstrate
+// the stat-driven selection policy end to end through a kAuto
+// service::QueryEngine (the service.backend.* counters land in the JSON
+// metrics snapshot). Case names are stable — CI asserts them in
+// BENCH_backends.json.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+#include "graph/stats.h"
+#include "service/query_engine.h"
+#include "simrank/diagonal.h"
+#include "simrank/linear.h"
+#include "simrank/searcher_backend.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace simrank {
+namespace {
+
+struct BenchDataset {
+  std::string label;  // the case-name suffix: "small" | "mid"
+  DirectedGraph graph;
+};
+
+BenchDataset MakeDataset(const char* label, Vertex min_vertices,
+                         double target_vertices, uint64_t seed,
+                         double scale) {
+  eval::DatasetSpec spec;
+  spec.name = label;
+  spec.family = eval::DatasetFamily::kWeb;
+  spec.target_vertices = std::max<Vertex>(
+      min_vertices, static_cast<Vertex>(std::llround(target_vertices * scale)));
+  spec.target_edges = spec.target_vertices * 8ull;
+  spec.seed = seed;
+  return {label, eval::Generate(spec)};
+}
+
+SearchOptions BenchSearchOptions() {
+  SearchOptions options;
+  options.k = 20;
+  options.threshold = 0.01;
+  options.seed = 4242;
+  return options;
+}
+
+struct Accuracy {
+  double mean_abs_err = 0.0;
+  double recall_at_k = 0.0;
+};
+
+Accuracy MeasureAccuracy(const SearcherBackend& backend,
+                         const LinearSimRank& oracle,
+                         const std::vector<Vertex>& queries, uint32_t k) {
+  Accuracy accuracy;
+  uint64_t scored = 0, hits = 0, wanted = 0;
+  for (Vertex u : queries) {
+    const std::vector<double> row = oracle.SingleSource(u);
+    const std::vector<ScoredVertex> top = backend.Query(u).top;
+    for (const ScoredVertex& entry : top) {
+      accuracy.mean_abs_err += std::abs(entry.score - row[entry.vertex]);
+      ++scored;
+    }
+    std::unordered_set<Vertex> got;
+    for (const ScoredVertex& entry : top) got.insert(entry.vertex);
+    const std::vector<ScoredVertex> exact_top =
+        oracle.TopK(u, k, BenchSearchOptions().threshold);
+    wanted += exact_top.size();
+    for (const ScoredVertex& entry : exact_top) {
+      hits += got.count(entry.vertex);
+    }
+  }
+  if (scored > 0) accuracy.mean_abs_err /= static_cast<double>(scored);
+  accuracy.recall_at_k =
+      wanted > 0 ? static_cast<double>(hits) / static_cast<double>(wanted)
+                 : 1.0;
+  return accuracy;
+}
+
+}  // namespace
+}  // namespace simrank
+
+int main(int argc, char** argv) {
+  using namespace simrank;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Backend comparison: mc vs sling vs exact", args);
+  bench::BenchJsonReporter reporter("bench_backends", args);
+  const int num_queries = args.queries > 0 ? args.queries : 20;
+  const SearchOptions options = BenchSearchOptions();
+
+  // "small" stays inside the exact tier and "mid" inside the sling tier
+  // of the default BackendPolicy for every CI scale.
+  std::vector<BenchDataset> datasets;
+  datasets.push_back(MakeDataset("small", 48, 160.0, 11, args.scale));
+  datasets.push_back(MakeDataset("mid", 400, 4000.0, 12, args.scale));
+
+  for (const BenchDataset& dataset : datasets) {
+    const DirectedGraph& graph = dataset.graph;
+    const GraphStats stats = ComputeGraphStats(graph);
+    std::printf("dataset %s: n=%s m=%s -> auto picks '%s'\n",
+                dataset.label.c_str(), FormatCount(stats.num_vertices).c_str(),
+                FormatCount(stats.num_edges).c_str(),
+                std::string(BackendKindName(SelectBackend(stats))).c_str());
+    const std::vector<Vertex> queries =
+        bench::SampleQueryVertices(graph, num_queries, 7);
+    const LinearSimRank oracle(
+        graph, options.simrank,
+        UniformDiagonal(graph.NumVertices(), options.simrank.decay));
+
+    TablePrinter table({"backend", "build", "index", "mean query",
+                        "mean |err|", "recall@k"});
+    for (BackendKind kind : RegisteredBackends()) {
+      std::unique_ptr<SearcherBackend> backend =
+          MakeBackend(kind, graph, options);
+      WallTimer build_timer;
+      backend->Build();
+      const double build_seconds = build_timer.ElapsedSeconds();
+      WallTimer query_timer;
+      for (Vertex u : queries) backend->Query(u);
+      const double query_seconds = query_timer.ElapsedSeconds();
+      const double mean_latency_us =
+          queries.empty() ? 0.0 : query_seconds * 1e6 / queries.size();
+      const Accuracy accuracy =
+          MeasureAccuracy(*backend, oracle, queries, options.k);
+      table.AddRow({std::string(backend->name()),
+                    FormatDuration(build_seconds),
+                    FormatBytes(backend->MemoryBytes()),
+                    FormatDuration(query_seconds / queries.size()),
+                    FormatDouble(accuracy.mean_abs_err, 4),
+                    FormatDouble(accuracy.recall_at_k, 3)});
+      reporter.AddCase(
+          "backend_" + std::string(backend->name()) + "_" + dataset.label,
+          query_seconds,
+          {{"build_seconds", build_seconds},
+           {"index_bytes", static_cast<double>(backend->MemoryBytes())},
+           {"mean_latency_us", mean_latency_us},
+           {"mean_abs_err", accuracy.mean_abs_err},
+           {"recall_at_k", accuracy.recall_at_k}});
+    }
+    table.Print();
+    std::printf("\n");
+
+    // The policy end to end: a kAuto engine must select the tier's
+    // backend, serve with it (response.backend + the per-backend request
+    // counters), and honor a per-request override to the Monte-Carlo
+    // kernel — all visible in the exported metrics snapshot.
+    service::EngineOptions engine_options;
+    engine_options.search = options;
+    engine_options.backend = BackendChoice::kAuto;
+    engine_options.num_threads = 2;
+    auto engine = service::QueryEngine::Create(graph, engine_options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    const BackendKind selected = (*engine)->primary_backend();
+    WallTimer engine_timer;
+    for (Vertex u : queries) {
+      auto response = (*engine)->Query(
+          service::QueryRequest::ForVertex(u).WithBypassCache());
+      if (!response.ok() || response->backend != selected) {
+        std::fprintf(stderr, "error: auto engine served the wrong backend\n");
+        return 1;
+      }
+    }
+    const double engine_seconds = engine_timer.ElapsedSeconds();
+    auto overridden = (*engine)->Query(
+        service::QueryRequest::ForVertex(queries.front())
+            .WithBackend(BackendKind::kMonteCarlo)
+            .WithBypassCache());
+    if (!overridden.ok() ||
+        overridden->backend != BackendKind::kMonteCarlo) {
+      std::fprintf(stderr, "error: per-request override did not apply\n");
+      return 1;
+    }
+    std::printf("auto engine picked '%s', %s mean over %zu queries\n\n",
+                std::string(BackendKindName(selected)).c_str(),
+                FormatDuration(engine_seconds / queries.size()).c_str(),
+                queries.size());
+    reporter.AddCase(
+        "auto_pick_" + dataset.label, engine_seconds,
+        {{"selected", static_cast<double>(selected)},
+         {"mean_latency_us", engine_seconds * 1e6 / queries.size()}});
+  }
+
+  return reporter.Finish() ? 0 : 1;
+}

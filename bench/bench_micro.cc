@@ -34,6 +34,7 @@
 #include "simrank/bounds.h"
 #include "simrank/linear.h"
 #include "simrank/monte_carlo.h"
+#include "simrank/searcher_backend.h"
 #include "simrank/top_k_searcher.h"
 #include "util/counter.h"
 #include "util/rng.h"
@@ -273,6 +274,62 @@ void BM_TopKQueryNoObs(benchmark::State& state) {
   obs::SetEnabled(true);
 }
 BENCHMARK(BM_TopKQueryNoObs);
+
+// --- alternative backends (simrank/searcher_backend.h) ----------------------
+
+// The deterministic backends get their own smaller corpus: the SLING
+// index is precomputed per vertex, so building it over the full micro
+// corpus at --scale=1 would dominate the suite's runtime for two cases.
+const DirectedGraph& BenchBackendGraph() {
+  static const DirectedGraph* graph = [] {
+    const double target_n = std::max(256.0, 4096.0 * g_bench_scale);
+    const uint32_t bits = std::clamp<uint32_t>(
+        static_cast<uint32_t>(std::lround(std::log2(target_n))), 8u, 14u);
+    const uint64_t edges = std::max<uint64_t>(
+        1024, static_cast<uint64_t>(std::llround(40000.0 * g_bench_scale)));
+    Rng rng(43);
+    return new DirectedGraph(MakeRmat(bits, edges, rng));
+  }();
+  return *graph;
+}
+
+const SearcherBackend& BenchBackend(BackendKind kind) {
+  static const SearcherBackend* backends[kNumBackendKinds] = {};
+  const size_t slot = static_cast<size_t>(kind);
+  if (backends[slot] == nullptr) {
+    auto backend = MakeBackend(kind, BenchBackendGraph(), SearchOptions{});
+    backend->Build();
+    backends[slot] = backend.release();
+  }
+  return *backends[slot];
+}
+
+void RunBackendQuery(benchmark::State& state, BackendKind kind) {
+  const SearcherBackend& backend = BenchBackend(kind);
+  const std::vector<Vertex> queries =
+      bench::SampleQueryVertices(BenchBackendGraph(), 64, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    const QueryResult result = backend.Query(queries[i % queries.size()]);
+    benchmark::DoNotOptimize(result.top.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Single-source top-k against the precomputed SLING index: sparse
+// products over the stored hitting-probability vectors, no sampling.
+void BM_SlingQuery(benchmark::State& state) {
+  RunBackendQuery(state, BackendKind::kSling);
+}
+BENCHMARK(BM_SlingQuery);
+
+// The exact linear-formulation oracle as a serving backend (small-graph
+// tier of the selection policy).
+void BM_ExactQuery(benchmark::State& state) {
+  RunBackendQuery(state, BackendKind::kExact);
+}
+BENCHMARK(BM_ExactQuery);
 
 // --- serving engine (src/service/) -----------------------------------------
 

@@ -76,7 +76,7 @@ struct QueryEvent {
   QueryEventMode mode = QueryEventMode::kVertex;
   uint8_t status = 0;          ///< util StatusCode of the execution outcome
   uint8_t flags = 0;           ///< QueryEventFlags
-  uint8_t reserved = 0;
+  uint8_t backend = 0;         ///< simrank::BackendKind that served it
 };
 static_assert(std::is_trivially_copyable_v<QueryEvent>);
 

@@ -297,6 +297,23 @@ std::string BenchReportToJson(const BenchReport& report,
 
 namespace {
 
+// Stable names of simrank::BackendKind, duplicated here because obs is a
+// base layer the simrank target links against (it cannot include
+// simrank/searcher_backend.h). Kept in sync by the backend-selection
+// tests, which assert the exported tag round-trips through this table.
+const char* BackendTagName(uint8_t backend) {
+  switch (backend) {
+    case 0:
+      return "mc";
+    case 1:
+      return "sling";
+    case 2:
+      return "exact";
+    default:
+      return "unknown";
+  }
+}
+
 void WriteQueryEvent(JsonWriter& json, const QueryEvent& event) {
   json.BeginObject();
   json.Key("id").Uint(event.query_id);
@@ -309,6 +326,7 @@ void WriteQueryEvent(JsonWriter& json, const QueryEvent& event) {
   json.Key("group_size").Uint(event.group_size);
   json.Key("mode").String(event.mode == QueryEventMode::kGroup ? "group"
                                                                : "vertex");
+  json.Key("backend").String(BackendTagName(event.backend));
   json.Key("status").String(
       StatusCodeName(static_cast<StatusCode>(event.status)));
   json.Key("cache_hit").Bool((event.flags & kEventCacheHit) != 0);

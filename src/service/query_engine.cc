@@ -7,11 +7,13 @@
 #include <thread>
 #include <utility>
 
+#include "graph/stats.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/slow_log.h"
 #include "obs/span.h"
 #include "service/result_cache.h"
+#include "simrank/backend_mc.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
 #include "util/top_k.h"
@@ -28,13 +30,23 @@ struct ServiceMetrics {
   obs::Counter& deadline_exceeded;
   obs::Counter& degraded;
   obs::Histogram& latency_ns;
+  /// Per-backend request split, indexed by BackendKind:
+  /// service.backend.<name>.requests.
+  std::array<obs::Counter*, kNumBackendKinds> backend_requests;
 
   ServiceMetrics()
       : requests(Registry().GetCounter("service.requests")),
         rejected(Registry().GetCounter("service.rejected")),
         deadline_exceeded(Registry().GetCounter("service.deadline_exceeded")),
         degraded(Registry().GetCounter("service.degraded")),
-        latency_ns(Registry().GetHistogram("service.latency_ns")) {}
+        latency_ns(Registry().GetHistogram("service.latency_ns")) {
+    for (BackendKind kind : RegisteredBackends()) {
+      backend_requests[static_cast<size_t>(kind)] =
+          &Registry().GetCounter("service.backend." +
+                                 std::string(BackendKindName(kind)) +
+                                 ".requests");
+    }
+  }
 
   static obs::MetricsRegistry& Registry() {
     return obs::MetricsRegistry::Default();
@@ -73,13 +85,11 @@ uint64_t EstimateWalks(const QueryStats& stats, const SearchOptions& search,
 
 }  // namespace
 
-/// Serving-layer scratch: the kernel workspace plus the group-vote
-/// accumulator the engine's own group loop needs (the engine re-implements
-/// the group aggregation so it can check the deadline between members).
+/// Serving-layer scratch: the group-vote accumulator the engine's own
+/// group loop needs (the engine re-implements the group aggregation so it
+/// can check the deadline between members). Backends pool their own
+/// per-query kernel scratch internally.
 struct QueryEngine::Workspace {
-  explicit Workspace(const TopKSearcher& searcher) : query(searcher) {}
-
-  QueryWorkspace query;
   /// Dense per-vertex score accumulator, kept zeroed between uses.
   std::vector<double> votes;
   std::vector<Vertex> touched;
@@ -87,6 +97,12 @@ struct QueryEngine::Workspace {
 
 Status ValidateEngineOptions(const EngineOptions& options) {
   SIMRANK_RETURN_IF_ERROR(options.search.Validate());
+  SIMRANK_RETURN_IF_ERROR(options.backend_policy.Validate());
+  if (options.backend != BackendChoice::kAuto &&
+      static_cast<size_t>(options.backend) >= kNumBackendKinds) {
+    return Status::InvalidArgument(
+        "EngineOptions::backend is not a registered backend");
+  }
   if (options.enable_cache && options.cache_capacity > 0 &&
       options.cache_shards < 1) {
     return Status::InvalidArgument(
@@ -129,21 +145,30 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
 
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Adopt(
     TopKSearcher searcher, EngineOptions options) {
-  options.search = searcher.options();
+  return AdoptBackend(
+      std::make_unique<MonteCarloBackend>(std::move(searcher)),
+      std::move(options));
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::AdoptBackend(
+    std::unique_ptr<SearcherBackend> backend, EngineOptions options) {
+  SIMRANK_CHECK(backend != nullptr);
+  const BackendKind kind = backend->kind();
+  options.search = backend->options();
+  options.backend = static_cast<BackendChoice>(kind);
   SIMRANK_RETURN_IF_ERROR(ValidateEngineOptions(options));
   std::unique_ptr<QueryEngine> engine(
-      new QueryEngine(std::move(searcher), std::move(options)));
+      new QueryEngine(backend->graph(), std::move(options)));
+  {
+    MutexLock lock(engine->backend_mutex_);
+    engine->backends_[static_cast<size_t>(kind)] = std::move(backend);
+  }
   return Finish(std::move(engine));
 }
 
 QueryEngine::QueryEngine(const DirectedGraph& graph, EngineOptions options)
-    : options_(std::move(options)),
-      searcher_(graph, options_.search),
-      pool_(ResolveThreads(options_.num_threads)) {}
-
-QueryEngine::QueryEngine(TopKSearcher searcher, EngineOptions options)
-    : options_(std::move(options)),
-      searcher_(std::move(searcher)),
+    : graph_(graph),
+      options_(std::move(options)),
       pool_(ResolveThreads(options_.num_threads)) {}
 
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Finish(
@@ -173,10 +198,52 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Finish(
       obs::RollingWindow::Default().SetSlos(engine->options_.slos);
     }
   }
-  if (!engine->searcher_.index_built()) {
-    engine->searcher_.BuildIndex(&engine->pool_);
-  }
+  // Resolve and build the primary backend. kAuto applies the stat-driven
+  // policy: a pass over the graph's summary stats is O(n + m), noise next
+  // to any backend's preprocess.
+  engine->primary_kind_ =
+      engine->options_.backend == BackendChoice::kAuto
+          ? SelectBackend(ComputeGraphStats(engine->graph_),
+                          engine->options_.backend_policy)
+          : static_cast<BackendKind>(engine->options_.backend);
+  const SearcherBackend& primary =
+      engine->GetOrCreateBackend(engine->primary_kind_, &engine->pool_);
+  obs::MetricsRegistry::Default()
+      .GetGauge("service.backend.primary")
+      .Set(static_cast<int64_t>(primary.kind()));
   return engine;
+}
+
+SearcherBackend& QueryEngine::GetOrCreateBackend(BackendKind kind,
+                                                 ThreadPool* pool) const {
+  const size_t slot = static_cast<size_t>(kind);
+  if (SearcherBackend* ready =
+          backend_ptrs_[slot].load(std::memory_order_acquire);
+      ready != nullptr) {
+    return *ready;
+  }
+  MutexLock lock(backend_mutex_);
+  if (backends_[slot] == nullptr) {
+    backends_[slot] = MakeBackend(kind, graph_, options_.search);
+  }
+  SearcherBackend& backend = *backends_[slot];
+  if (!backend.built()) backend.Build(pool);
+  obs::MetricsRegistry::Default()
+      .GetGauge("service.backend." + std::string(backend.name()) +
+                ".index_bytes")
+      .Set(static_cast<int64_t>(backend.MemoryBytes()));
+  backend_ptrs_[slot].store(&backend, std::memory_order_release);
+  return backend;
+}
+
+const SearcherBackend& QueryEngine::backend(BackendKind kind) const {
+  return GetOrCreateBackend(kind);
+}
+
+const TopKSearcher& QueryEngine::searcher() const {
+  return static_cast<const MonteCarloBackend&>(
+             GetOrCreateBackend(BackendKind::kMonteCarlo))
+      .searcher();
 }
 
 QueryEngine::~QueryEngine() {
@@ -198,7 +265,7 @@ Status QueryEngine::ValidateRequest(const QueryRequest& request) const {
   if (request.vertices.empty()) {
     return Status::InvalidArgument("QueryRequest has no query vertices");
   }
-  const Vertex n = searcher_.graph().NumVertices();
+  const Vertex n = graph_.NumVertices();
   for (Vertex v : request.vertices) {
     if (v >= n) {
       return Status::NotFound("query vertex " + std::to_string(v) +
@@ -208,6 +275,11 @@ Status QueryEngine::ValidateRequest(const QueryRequest& request) const {
   }
   if (request.k.has_value() && *request.k < 1) {
     return Status::InvalidArgument("QueryRequest::k override must be >= 1");
+  }
+  if (request.backend.has_value() &&
+      static_cast<size_t>(*request.backend) >= kNumBackendKinds) {
+    return Status::InvalidArgument(
+        "QueryRequest::backend is not a registered backend");
   }
   // !(x >= 0) also rejects NaN.
   if (request.threshold.has_value() && !(*request.threshold >= 0.0)) {
@@ -275,16 +347,16 @@ std::vector<Result<QueryResponse>> QueryEngine::SubmitBatch(
 }
 
 std::vector<std::vector<ScoredVertex>> QueryEngine::QueryAll() {
-  const Vertex n = searcher_.graph().NumVertices();
+  const Vertex n = graph_.NumVertices();
   std::vector<std::vector<ScoredVertex>> rankings(n);
+  const SearcherBackend& primary = GetOrCreateBackend(primary_kind_);
   // Per-query RNG streams are order-independent, so chunked parallel
   // execution is bit-identical to the serial loop. ParallelFor (rather
   // than raw Submit/Wait) keeps completion tracking per call, so QueryAll
-  // can run while Submit traffic shares the pool.
+  // can run while Submit traffic shares the pool. Per-query kernel
+  // scratch is pooled inside the backend.
   ParallelFor(&pool_, 0, n, [&](size_t u) {
-    std::unique_ptr<Workspace> workspace = AcquireWorkspace();
-    rankings[u] = searcher_.Query(static_cast<Vertex>(u), workspace->query).top;
-    ReleaseWorkspace(std::move(workspace));
+    rankings[u] = primary.Query(static_cast<Vertex>(u)).top;
   });
   return rankings;
 }
@@ -301,14 +373,17 @@ Result<AllPairsShard> QueryEngine::RunAllPairs(const AllPairsOptions& options) {
   }
   AllPairsOptions engine_options = options;
   engine_options.pool = &pool_;
-  return simrank::RunAllPairs(searcher_, engine_options);
+  // The checkpointed all-pairs machinery is Monte-Carlo-only
+  // (capabilities().checkpointed_all_pairs); engines serving another
+  // primary backend build the MC kernel on first all-pairs call.
+  return simrank::RunAllPairs(searcher(), engine_options);
 }
 
 Result<AllPairsFileReport> QueryEngine::RunAllPairsToFile(
     const AllPairsFileOptions& options, const std::string& path) {
   AllPairsFileOptions engine_options = options;
   engine_options.run.pool = &pool_;
-  return simrank::RunAllPairsToFile(searcher_, engine_options, path);
+  return simrank::RunAllPairsToFile(searcher(), engine_options, path);
 }
 
 void QueryEngine::InvalidateCache() {
@@ -329,7 +404,7 @@ std::unique_ptr<QueryEngine::Workspace> QueryEngine::AcquireWorkspace() {
       return workspace;
     }
   }
-  return std::make_unique<Workspace>(searcher_);
+  return std::make_unique<Workspace>();
 }
 
 void QueryEngine::ReleaseWorkspace(std::unique_ptr<Workspace> workspace) {
@@ -369,13 +444,17 @@ Result<QueryResponse> QueryEngine::Execute(const QueryRequest& request,
   event.group_size = static_cast<uint32_t>(request.vertices.size());
   event.mode = request.is_group() ? obs::QueryEventMode::kGroup
                                   : obs::QueryEventMode::kVertex;
+  const BackendKind backend_kind = request.backend.value_or(primary_kind_);
+  event.backend = static_cast<uint8_t>(backend_kind);
   if (submitted) event.flags |= obs::kEventSubmitted;
   if (result.ok()) {
     const QueryResponse& response = result.value();
     event.status = static_cast<uint8_t>(response.status.code());
     if (response.from_cache) {
       event.flags |= obs::kEventCacheHit;  // walks stay 0: nothing ran
-    } else {
+    } else if (backend_kind == BackendKind::kMonteCarlo) {
+      // Walk totals only exist for the sampling backend; the
+      // deterministic backends report 0.
       event.walks = EstimateWalks(response.stats, options_.search,
                                   response.degraded,
                                   request.vertices.size());
@@ -420,9 +499,13 @@ Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
   const uint32_t k = request.k.value_or(options_.search.k);
   const double threshold =
       request.threshold.value_or(options_.search.threshold);
+  const BackendKind backend_kind = request.backend.value_or(primary_kind_);
+  response.backend = backend_kind;
+  metrics.backend_requests[static_cast<size_t>(backend_kind)]->Add(1);
 
-  // Stage 1: result cache. Keyed on the *effective* options, so a request
-  // with a different k or threshold never reuses a stale ranking.
+  // Stage 1: result cache. Keyed on the *effective* options — including
+  // the backend identity, so a mixed-backend engine never serves one
+  // backend's ranking for another backend's request.
   CacheKey key;
   const bool use_cache = cache_ != nullptr && !request.bypass_cache;
   if (use_cache) {
@@ -430,6 +513,7 @@ Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
     key.group = request.is_group();
     key.k = k;
     key.threshold_bits = std::bit_cast<uint64_t>(threshold);
+    key.backend = static_cast<uint8_t>(backend_kind);
     CacheEntry entry;
     if (cache_->Lookup(key, &entry)) {
       response.top = std::move(entry.top);
@@ -454,11 +538,13 @@ Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
 
   // Stage 3: load shedding. Under a backlog, drop the refine pass to the
   // rough sample count — reported via `degraded`, never silent, and the
-  // result is never cached.
+  // result is never cached. Only the sampling backend has a cheaper
+  // degraded mode; the deterministic backends have nothing to shed.
   QueryOverrides overrides{.k = request.k,
                            .threshold = request.threshold,
                            .refine_walks = std::nullopt};
-  if (options_.load_shed_watermark > 0 &&
+  if (backend_kind == BackendKind::kMonteCarlo &&
+      options_.load_shed_watermark > 0 &&
       queued_.load(std::memory_order_relaxed) > options_.load_shed_watermark &&
       options_.search.refine_walks > options_.search.estimate_walks) {
     overrides.refine_walks = options_.search.estimate_walks;
@@ -466,17 +552,17 @@ Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
     metrics.degraded.Add(1);
   }
 
-  // Stage 4: run the kernel.
-  std::unique_ptr<Workspace> workspace = AcquireWorkspace();
+  // Stage 4: run the backend.
+  const SearcherBackend& backend = GetOrCreateBackend(backend_kind);
   if (request.is_group()) {
-    RunGroup(request, *workspace, overrides, k, response);
+    std::unique_ptr<Workspace> workspace = AcquireWorkspace();
+    RunGroup(request, backend, *workspace, overrides, k, response);
+    ReleaseWorkspace(std::move(workspace));
   } else {
-    QueryResult result =
-        searcher_.Query(request.vertices.front(), workspace->query, overrides);
+    QueryResult result = backend.Query(request.vertices.front(), overrides);
     response.top = std::move(result.top);
     response.stats = result.stats;
   }
-  ReleaseWorkspace(std::move(workspace));
 
   response.engine_seconds = timer.ElapsedSeconds();
   if (!response.status.ok()) {
@@ -488,16 +574,18 @@ Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
   return response;
 }
 
-void QueryEngine::RunGroup(const QueryRequest& request, Workspace& workspace,
+void QueryEngine::RunGroup(const QueryRequest& request,
+                           const SearcherBackend& backend,
+                           Workspace& workspace,
                            const QueryOverrides& overrides,
                            uint32_t effective_k, QueryResponse& response) {
-  // Mirrors TopKSearcher::QueryGroup step for step (same member order,
+  // Mirrors SearcherBackend::QueryGroup step for step (same member order,
   // vote accumulation and collector order, so results are bit-identical),
   // with a deadline check between members: on expiry the loop stops and
   // the ranking/stats of the members already run are returned as the
   // partial answer.
   std::vector<double>& votes = workspace.votes;
-  votes.resize(searcher_.graph().NumVertices(), 0.0);
+  votes.resize(graph_.NumVertices(), 0.0);
   std::vector<Vertex>& touched = workspace.touched;
   touched.clear();
   size_t completed = 0;
@@ -508,8 +596,7 @@ void QueryEngine::RunGroup(const QueryRequest& request, Workspace& workspace,
           std::to_string(request.vertices.size()) + " group members");
       break;
     }
-    const QueryResult member_result =
-        searcher_.Query(member, workspace.query, overrides);
+    const QueryResult member_result = backend.Query(member, overrides);
     response.stats += member_result.stats;
     for (const ScoredVertex& entry : member_result.top) {
       if (votes[entry.vertex] == 0.0) touched.push_back(entry.vertex);

@@ -2,13 +2,19 @@
 #define SIMRANK_SERVICE_QUERY_ENGINE_H_
 
 // Concurrent query-serving engine: the request/response surface a service
-// is built on, layered over the single-query TopKSearcher kernel.
+// is built on, layered over the pluggable SearcherBackend contract.
 //
-// The engine owns the preprocessed searcher, a thread pool, a pool of
-// reusable per-thread workspaces, and a sharded LRU result cache. Clients
-// describe work as QueryRequest values (vertex or group, per-request
-// k/threshold overrides, optional deadline) and get back
-// util::Result<QueryResponse>:
+// The engine owns a set of query backends (the Monte-Carlo kernel, the
+// SLING-style precomputed index, the exact oracle — see
+// simrank/searcher_backend.h), a thread pool, a pool of reusable
+// per-thread workspaces, and a sharded LRU result cache. Which backend
+// serves is decided by EngineOptions::backend — a concrete kind, or
+// kAuto, which applies the stat-driven selection policy to the graph at
+// engine creation — and can be overridden per request
+// (QueryRequest::backend); non-primary backends are created and built
+// lazily on first use. Clients describe work as QueryRequest values
+// (vertex or group, per-request k/threshold/backend overrides, optional
+// deadline) and get back util::Result<QueryResponse>:
 //
 //   - A *rejected* request (unknown vertex, k == 0, NaN threshold) is a
 //     non-OK Result: nothing ran.
@@ -36,9 +42,12 @@
 #include <span>
 #include <vector>
 
+#include <array>
+
 #include "graph/graph.h"
 #include "obs/rolling.h"
 #include "simrank/all_pairs.h"
+#include "simrank/searcher_backend.h"
 #include "simrank/top_k_searcher.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -75,6 +84,11 @@ struct QueryRequest {
   /// partial stats instead of running to completion.
   std::optional<EngineClock::time_point> deadline;
 
+  /// Serve this request with a specific backend instead of the engine's
+  /// primary one. The backend is created and built (serially) on first
+  /// use, so the first overridden request pays its preprocess.
+  std::optional<BackendKind> backend;
+
   /// Skips both cache lookup and cache insertion for this request.
   bool bypass_cache = false;
 
@@ -108,6 +122,10 @@ struct QueryRequest {
     bypass_cache = true;
     return std::move(*this);
   }
+  QueryRequest&& WithBackend(BackendKind kind) && {
+    backend = kind;
+    return std::move(*this);
+  }
 
   bool is_group() const { return vertices.size() > 1; }
 };
@@ -136,6 +154,9 @@ struct QueryResponse {
   /// event recording is off) — the join key between a response and its
   /// record in the `--events-json` / postmortem dumps.
   uint64_t query_id = 0;
+  /// Backend that computed the ranking — for cache hits, the backend the
+  /// cached entry was computed by (the key includes it, so they agree).
+  BackendKind backend = BackendKind::kMonteCarlo;
 
   bool ok() const { return status.ok(); }
 };
@@ -143,6 +164,16 @@ struct QueryResponse {
 /// Engine configuration: the search options plus the serving knobs.
 struct EngineOptions {
   SearchOptions search;
+
+  /// Which backend serves queries by default. kAuto applies
+  /// `backend_policy` to the graph's summary stats at engine creation
+  /// (SelectBackend); a concrete choice pins it. The default stays the
+  /// paper's Monte-Carlo engine so existing deployments keep bit-identical
+  /// behavior — auto-selection is opt-in.
+  BackendChoice backend = BackendChoice::kMonteCarlo;
+
+  /// Thresholds for kAuto (ignored otherwise). Validated at creation.
+  BackendPolicy backend_policy;
 
   /// Worker threads for Submit/SubmitBatch/QueryAll; 0 means
   /// hardware_concurrency.
@@ -195,9 +226,18 @@ class QueryEngine {
   /// Wraps an existing searcher (e.g. one restored by
   /// LoadSearcherIndex) instead of building a new one; options.search is
   /// replaced by the searcher's own options, which are still validated.
-  /// Builds the index if the searcher has not been preprocessed yet.
+  /// Builds the index if the searcher has not been preprocessed yet. The
+  /// engine's primary backend is pinned to the Monte-Carlo kernel.
   static Result<std::unique_ptr<QueryEngine>> Adopt(TopKSearcher searcher,
                                                     EngineOptions options);
+
+  /// Wraps an existing backend (e.g. one restored by LoadBackendIndex)
+  /// as the engine's primary backend; options.search is replaced by the
+  /// backend's own options, which are still validated, and
+  /// options.backend is pinned to the backend's kind. Builds the backend
+  /// if it has not been preprocessed yet.
+  static Result<std::unique_ptr<QueryEngine>> AdoptBackend(
+      std::unique_ptr<SearcherBackend> backend, EngineOptions options);
 
   /// Blocks until every in-flight submitted request has drained.
   ~QueryEngine();
@@ -251,7 +291,22 @@ class QueryEngine {
   /// Worker threads actually running (options.num_threads resolved).
   size_t num_threads() const { return pool_.num_threads(); }
 
-  const TopKSearcher& searcher() const { return searcher_; }
+  /// The backend kind serving requests that carry no per-request
+  /// override: EngineOptions::backend, with kAuto resolved against the
+  /// graph's stats at creation.
+  BackendKind primary_backend() const { return primary_kind_; }
+
+  /// The backend instance of `kind`, creating and building it (serially,
+  /// on the calling thread) on first use. The reference stays valid for
+  /// the engine's lifetime.
+  const SearcherBackend& backend(BackendKind kind) const
+      SIMRANK_EXCLUDES(backend_mutex_);
+
+  /// The Monte-Carlo kernel (created on first use when it is not the
+  /// primary backend) — the engine surface for MC-only machinery:
+  /// checkpointed all-pairs, index serialization, preprocess reporting.
+  const TopKSearcher& searcher() const SIMRANK_EXCLUDES(backend_mutex_);
+
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -259,7 +314,6 @@ class QueryEngine {
   class WorkspaceLease;
 
   QueryEngine(const DirectedGraph& graph, EngineOptions options);
-  QueryEngine(TopKSearcher searcher, EngineOptions options);
 
   static Result<std::unique_ptr<QueryEngine>> Finish(
       std::unique_ptr<QueryEngine> engine);
@@ -269,17 +323,39 @@ class QueryEngine {
                                 double queue_seconds, bool submitted);
   Result<QueryResponse> ExecuteStages(const QueryRequest& request,
                                       double queue_seconds);
-  void RunGroup(const QueryRequest& request, Workspace& workspace,
-                const QueryOverrides& overrides, uint32_t effective_k,
-                QueryResponse& response);
+  void RunGroup(const QueryRequest& request, const SearcherBackend& backend,
+                Workspace& workspace, const QueryOverrides& overrides,
+                uint32_t effective_k, QueryResponse& response);
+
+  /// Returns the built backend of `kind`, creating it under
+  /// `backend_mutex_` on first use. `pool` runs the build when non-null
+  /// (only safe during Finish, before requests are in flight); lazy
+  /// builds triggered by requests pass null and build serially, because a
+  /// request may itself be running on a pool worker and a nested
+  /// pool-blocking build would deadlock.
+  SearcherBackend& GetOrCreateBackend(BackendKind kind,
+                                      ThreadPool* pool = nullptr) const
+      SIMRANK_EXCLUDES(backend_mutex_);
 
   std::unique_ptr<Workspace> AcquireWorkspace()
       SIMRANK_EXCLUDES(workspace_mutex_);
   void ReleaseWorkspace(std::unique_ptr<Workspace> workspace)
       SIMRANK_EXCLUDES(workspace_mutex_);
 
+  const DirectedGraph& graph_;
   EngineOptions options_;
-  TopKSearcher searcher_;
+  BackendKind primary_kind_ = BackendKind::kMonteCarlo;
+
+  /// Backend instances, created lazily; entries are never replaced or
+  /// destroyed before the engine. `backend_ptrs_` republishes each entry
+  /// as a lock-free pointer once it is *built*, so the per-request fast
+  /// path never touches `backend_mutex_`.
+  mutable Mutex backend_mutex_;
+  mutable std::array<std::unique_ptr<SearcherBackend>, kNumBackendKinds>
+      backends_ SIMRANK_GUARDED_BY(backend_mutex_);
+  mutable std::array<std::atomic<SearcherBackend*>, kNumBackendKinds>
+      backend_ptrs_{};
+
   std::unique_ptr<ResultCache> cache_;  // null when disabled
 
   std::atomic<size_t> queued_{0};

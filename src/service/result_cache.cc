@@ -49,6 +49,7 @@ size_t CacheKeyHash::operator()(const CacheKey& key) const {
   for (Vertex v : key.vertices) h = Mix64(h ^ v);
   h = Mix64(h ^ key.k);
   h = Mix64(h ^ key.threshold_bits);
+  h = Mix64(h ^ key.backend);
   return static_cast<size_t>(h);
 }
 

@@ -28,12 +28,16 @@ namespace simrank::service {
 
 /// Identity of a cacheable query. `threshold_bits` stores the exact bit
 /// pattern of the effective threshold so keying never depends on float
-/// printing or epsilon choices.
+/// printing or epsilon choices. `backend` is the BackendKind that computes
+/// the answer: different backends produce (slightly) different rankings,
+/// so a mixed-backend engine must never serve one backend's cached entry
+/// for another backend's request.
 struct CacheKey {
   std::vector<Vertex> vertices;
   bool group = false;
   uint32_t k = 0;
   uint64_t threshold_bits = 0;
+  uint8_t backend = 0;
 
   bool operator==(const CacheKey&) const = default;
 };

@@ -1,0 +1,65 @@
+#ifndef SIMRANK_SIMRANK_BACKEND_MC_H_
+#define SIMRANK_SIMRANK_BACKEND_MC_H_
+
+#include <memory>
+#include <span>
+
+#include "graph/graph.h"
+#include "simrank/monte_carlo.h"
+#include "simrank/searcher_backend.h"
+#include "simrank/top_k_searcher.h"
+
+namespace simrank {
+
+/// The paper's engine behind the backend contract: a thin adapter over
+/// TopKSearcher (Algorithm 3 gamma table + Algorithm 4 candidate index +
+/// Algorithm 5 adaptive Monte-Carlo scoring). Query and QueryGroup
+/// delegate verbatim — results are bit-identical to calling the searcher
+/// directly with the same options and seed.
+class MonteCarloBackend : public SearcherBackend {
+ public:
+  /// The graph must outlive the backend.
+  MonteCarloBackend(const DirectedGraph& graph, const SearchOptions& options);
+  /// Adopts an already-prepared searcher (the deserialization path; see
+  /// LoadBackendIndex). The searcher's graph must outlive the backend.
+  explicit MonteCarloBackend(TopKSearcher searcher);
+
+  BackendKind kind() const override { return BackendKind::kMonteCarlo; }
+  BackendCapabilities capabilities() const override {
+    return {.needs_build = true,
+            .serializable = true,
+            .deterministic = false,
+            .checkpointed_all_pairs = true};
+  }
+
+  void Build(ThreadPool* pool = nullptr) override;
+  bool built() const override { return searcher_.index_built(); }
+  double preprocess_seconds() const override {
+    return searcher_.preprocess_seconds();
+  }
+  uint64_t MemoryBytes() const override { return searcher_.PreprocessBytes(); }
+
+  QueryResult Query(Vertex query,
+                    const QueryOverrides& overrides = {}) const override;
+  QueryResult QueryGroup(std::span<const Vertex> group,
+                         const QueryOverrides& overrides = {}) const override;
+  double Pair(Vertex u, Vertex v) const override;
+
+  const DirectedGraph& graph() const override { return searcher_.graph(); }
+  const SearchOptions& options() const override { return searcher_.options(); }
+
+  /// The wrapped kernel, for MC-only machinery (checkpointed all-pairs,
+  /// index serialization, workspace-explicit call sites).
+  const TopKSearcher& searcher() const { return searcher_; }
+  TopKSearcher& searcher() { return searcher_; }
+
+ private:
+  TopKSearcher searcher_;
+  /// Estimator for Pair(); constructed at the end of Build() once the
+  /// diagonal (possibly fixed-point estimated) is final.
+  std::unique_ptr<MonteCarloSimRank> pair_estimator_;
+};
+
+}  // namespace simrank
+
+#endif  // SIMRANK_SIMRANK_BACKEND_MC_H_

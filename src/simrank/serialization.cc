@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/fault_injection.h"
 #include "util/serialize.h"
 
 namespace simrank {
@@ -27,6 +28,7 @@ Status SaveSearcherIndex(const TopKSearcher& searcher,
   }
   const DirectedGraph& graph = searcher.graph();
   const SearchOptions& options = searcher.options();
+  SIMRANK_FAULT_POINT("searcher.index.save");
   BinaryWriter writer(path);
   writer.Write(kIndexMagic);
   writer.Write<uint64_t>(graph.NumVertices());
@@ -52,6 +54,7 @@ Status SaveSearcherIndex(const TopKSearcher& searcher,
 Result<TopKSearcher> LoadSearcherIndex(const DirectedGraph& graph,
                                        const SearchOptions& options,
                                        const std::string& path) {
+  SIMRANK_FAULT_POINT("searcher.index.load");
   BinaryReader reader(path);
   uint64_t magic = 0, num_vertices = 0, num_edges = 0;
   double decay = 0.0;

@@ -28,6 +28,8 @@
 /// are exposed for validation and benchmarking.
 
 #include "simrank/all_pairs.h"       // IWYU pragma: export
+#include "simrank/backend_exact.h"   // IWYU pragma: export
+#include "simrank/backend_mc.h"      // IWYU pragma: export
 #include "simrank/bounds.h"          // IWYU pragma: export
 #include "simrank/classic_similarity.h"  // IWYU pragma: export
 #include "simrank/dense_matrix.h"    // IWYU pragma: export
@@ -40,7 +42,9 @@
 #include "simrank/p_rank.h"          // IWYU pragma: export
 #include "simrank/params.h"          // IWYU pragma: export
 #include "simrank/partial_sums.h"    // IWYU pragma: export
+#include "simrank/searcher_backend.h"  // IWYU pragma: export
 #include "simrank/serialization.h"   // IWYU pragma: export
+#include "simrank/sling.h"           // IWYU pragma: export
 #include "service/query_engine.h"    // IWYU pragma: export
 #include "service/result_cache.h"    // IWYU pragma: export
 #include "simrank/surfer_pair.h"     // IWYU pragma: export

@@ -82,19 +82,24 @@ void FlushQueryMetrics(const QueryStats& stats, uint32_t refine_walks,
 QueryWorkspace::QueryWorkspace(const TopKSearcher& searcher)
     : bfs_(searcher.graph()), marks_(searcher.graph().NumVertices(), 0) {}
 
-Status SearchOptions::Validate() const {
-  if (!(simrank.decay > 0.0 && simrank.decay < 1.0)) {
-    return Status::InvalidArgument("decay must be in (0, 1), got " +
-                                   std::to_string(simrank.decay));
-  }
-  if (simrank.num_steps < 1) {
-    return Status::InvalidArgument("num_steps must be >= 1");
-  }
+Status QueryLimits::Validate() const {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   if (!(threshold >= 0.0)) {  // negation also rejects NaN
     return Status::InvalidArgument("threshold must be >= 0, got " +
                                    std::to_string(threshold));
   }
+  return Status::OK();
+}
+
+Status SlingTuning::Validate() const {
+  if (!(precision > 0.0 && precision <= 1.0)) {  // negation also rejects NaN
+    return Status::InvalidArgument("sling.precision must be in (0, 1], got " +
+                                   std::to_string(precision));
+  }
+  return Status::OK();
+}
+
+Status McTuning::Validate() const {
   if (estimate_walks < 1) {
     return Status::InvalidArgument("estimate_walks must be >= 1");
   }
@@ -125,6 +130,19 @@ Status SearchOptions::Validate() const {
         std::to_string(parallel_candidates));
   }
   return Status::OK();
+}
+
+Status SearchOptions::Validate() const {
+  if (!(simrank.decay > 0.0 && simrank.decay < 1.0)) {
+    return Status::InvalidArgument("decay must be in (0, 1), got " +
+                                   std::to_string(simrank.decay));
+  }
+  if (simrank.num_steps < 1) {
+    return Status::InvalidArgument("num_steps must be >= 1");
+  }
+  SIMRANK_RETURN_IF_ERROR(limits().Validate());
+  SIMRANK_RETURN_IF_ERROR(mc().Validate());
+  return sling.Validate();
 }
 
 TopKSearcher::TopKSearcher(const DirectedGraph& graph, SearchOptions options)

@@ -20,13 +20,11 @@
 
 namespace simrank {
 
-/// Options of the top-k similarity search engine. Defaults reproduce the
-/// paper's experimental setting (§8): c = 0.6, T = 11, k = 20, theta =
-/// 0.01, R = 100 for scoring and Algorithm 3, R = 10000 for Algorithm 2,
-/// P = 10, Q = 5, adaptive sampling 10 -> 100.
-struct SearchOptions {
-  SimRankParams simrank;
-
+/// Backend-agnostic query limits: what any SearcherBackend must honor,
+/// independent of how it computes scores. The per-request overridable
+/// subset of these (k, threshold) is QueryOverrides; deadlines live on
+/// service::QueryRequest because they are serving-layer concerns.
+struct QueryLimits {
   /// Number of results per query.
   uint32_t k = 20;
 
@@ -36,9 +34,20 @@ struct SearchOptions {
 
   /// Search horizon d_max: vertices farther (undirected) than this from the
   /// query are not considered (§6: "if d(u,v) > dmax then s(u,v) is too
-  /// small to take into account"; the paper sets dmax = T).
+  /// small to take into account"; the paper sets dmax = T). Only the
+  /// distance-pruning (Monte-Carlo) backend consults it.
   uint32_t max_distance = 11;
 
+  /// Range-checks every field, returning InvalidArgument naming the
+  /// offending field.
+  Status Validate() const;
+};
+
+/// Monte-Carlo backend tuning: sample counts, pruning-bound toggles and
+/// the adaptive-sampling schedule. Other backends ignore every field
+/// here; per-backend Validate() keeps their error messages scoped to the
+/// knobs they actually read.
+struct McTuning {
   // --- pruning ingredients (each can be ablated independently) ---
   bool use_distance_bound = true;  ///< c^(ceil(d/2)) bound
   bool use_l1_bound = true;        ///< beta(u, d), Algorithm 2
@@ -83,6 +92,42 @@ struct SearchOptions {
   /// Upper bound Validate() enforces on parallel_candidates.
   static constexpr uint32_t kMaxParallelCandidates = 256;
 
+  /// Range-checks every field, returning InvalidArgument naming the
+  /// offending field.
+  Status Validate() const;
+};
+
+/// SLING-style indexed backend tuning (simrank/sling.h). Grouped here so
+/// EngineOptions/SearchOptions carry one authoritative copy of every
+/// backend's knobs; the SLING backend reads only this and QueryLimits.
+struct SlingTuning {
+  /// Per-step sparsification threshold eps: hitting probabilities below it
+  /// are dropped from the precomputed index. Smaller = more accurate and
+  /// bigger; the induced absolute score error is O(T * eps).
+  double precision = 1e-4;
+
+  /// Range-checks every field, returning InvalidArgument naming the
+  /// offending field.
+  Status Validate() const;
+};
+
+/// Options of the similarity search engine. Defaults reproduce the
+/// paper's experimental setting (§8): c = 0.6, T = 11, k = 20, theta =
+/// 0.01, R = 100 for scoring and Algorithm 3, R = 10000 for Algorithm 2,
+/// P = 10, Q = 5, adaptive sampling 10 -> 100.
+///
+/// Structurally this is the backend-agnostic QueryLimits plus the
+/// per-backend tuning blocks. The limits and the Monte-Carlo tuning are
+/// *base classes*, so every pre-split field keeps its flat spelling
+/// (`options.k`, `options.refine_walks`, ...) — existing callers build
+/// unchanged — while backends slice out just the part they consume
+/// (`options.limits()`, `options.mc()`).
+struct SearchOptions : QueryLimits, McTuning {
+  SimRankParams simrank;
+
+  /// SLING backend tuning (ignored by the Monte-Carlo and exact paths).
+  SlingTuning sling;
+
   IndexParams index_params;
 
   /// If true, the constructor estimates the diagonal correction matrix D
@@ -99,8 +144,13 @@ struct SearchOptions {
   /// derived from it deterministically.
   uint64_t seed = 42;
 
-  /// Range-checks every user-tunable field (decay, steps, k, threshold,
-  /// walk counts, adaptive_margin) and returns InvalidArgument naming the
+  /// The backend-agnostic slice of these options.
+  const QueryLimits& limits() const { return *this; }
+  /// The Monte-Carlo tuning slice of these options.
+  const McTuning& mc() const { return *this; }
+
+  /// Range-checks every user-tunable field (decay, steps, the QueryLimits,
+  /// the per-backend tuning blocks) and returns InvalidArgument naming the
   /// offending field instead of aborting. This is the entry-point
   /// validation used by service::QueryEngine::Create; the TopKSearcher
   /// constructor keeps SIMRANK_CHECK only as a last-resort internal

@@ -1,10 +1,13 @@
-// Fixture: rule R5 must stay quiet — both the writer and the loader
-// carry a SIMRANK_FAULT_POINT within the window.
+// Fixture: rule R5 must stay quiet — every durable IO site (atomic
+// writer, stdio loader, binary writer/reader) carries a
+// SIMRANK_FAULT_POINT within the window.
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "util/atomic_file.h"
 #include "util/fault_injection.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 simrank::Status SaveReport(const std::string& path, const std::string& body) {
@@ -24,5 +27,19 @@ simrank::Status LoadReport(const std::string& path, std::string& out) {
     out.append(buf, got);
   }
   std::fclose(file);
+  return simrank::Status::OK();
+}
+
+simrank::Status SaveIndex(const std::string& path, uint64_t magic) {
+  SIMRANK_FAULT_POINT("fixture.index.save");
+  simrank::BinaryWriter writer(path);
+  writer.Write(magic);
+  return writer.Finish();
+}
+
+simrank::Status LoadIndex(const std::string& path, uint64_t& magic) {
+  SIMRANK_FAULT_POINT("fixture.index.load");
+  simrank::BinaryReader reader(path);
+  if (!reader.Read(magic)) return reader.status();
   return simrank::Status::OK();
 }

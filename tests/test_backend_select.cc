@@ -1,0 +1,288 @@
+// Stat-driven backend selection and the engine's backend plumbing: the
+// SelectBackend policy tiers, kAuto resolution at engine creation,
+// per-request backend overrides, the backend field of the result-cache
+// key (a cross-backend hit would serve one algorithm's scores under
+// another's name), per-backend service metrics, and the backend tag
+// threaded through the per-query event telemetry.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+#include "json_test_util.h"
+#include "obs/event_log.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "service/query_engine.h"
+#include "simrank/searcher_backend.h"
+#include "test_helpers.h"
+
+namespace simrank {
+namespace {
+
+using obs::EventLog;
+using obs::QueryEvent;
+using testjson::JsonValue;
+using testjson::ParseOrFail;
+
+GraphStats StatsOf(uint64_t n, uint64_t m) {
+  GraphStats stats;
+  stats.num_vertices = n;
+  stats.num_edges = m;
+  return stats;
+}
+
+TEST(SelectBackendTest, TiersByGraphSize) {
+  const BackendPolicy policy;
+  EXPECT_EQ(SelectBackend(StatsOf(10, 20), policy), BackendKind::kExact);
+  EXPECT_EQ(SelectBackend(StatsOf(10'000, 80'000), policy),
+            BackendKind::kSling);
+  EXPECT_EQ(SelectBackend(StatsOf(10'000'000, 200'000'000), policy),
+            BackendKind::kMonteCarlo);
+}
+
+TEST(SelectBackendTest, LimitsAreInclusive) {
+  const BackendPolicy policy;
+  EXPECT_EQ(SelectBackend(
+                StatsOf(policy.exact_max_vertices, policy.exact_max_edges),
+                policy),
+            BackendKind::kExact);
+  EXPECT_EQ(SelectBackend(
+                StatsOf(policy.exact_max_vertices + 1, policy.exact_max_edges),
+                policy),
+            BackendKind::kSling);
+  EXPECT_EQ(SelectBackend(
+                StatsOf(policy.sling_max_vertices, policy.sling_max_edges),
+                policy),
+            BackendKind::kSling);
+  EXPECT_EQ(SelectBackend(
+                StatsOf(policy.sling_max_vertices, policy.sling_max_edges + 1),
+                policy),
+            BackendKind::kMonteCarlo);
+}
+
+TEST(SelectBackendTest, EitherDimensionCanDisqualifyATier) {
+  const BackendPolicy policy;
+  // Few vertices but too many edges for the exact tier.
+  EXPECT_EQ(SelectBackend(StatsOf(100, policy.exact_max_edges + 1), policy),
+            BackendKind::kSling);
+  // Few edges but too many vertices for the sling tier.
+  EXPECT_EQ(
+      SelectBackend(StatsOf(policy.sling_max_vertices + 1, 100), policy),
+      BackendKind::kMonteCarlo);
+}
+
+TEST(BackendPolicyTest, ValidateRejectsInvertedTiers) {
+  BackendPolicy policy;
+  EXPECT_TRUE(policy.Validate().ok());
+  policy.exact_max_vertices = policy.sling_max_vertices + 1;
+  EXPECT_EQ(policy.Validate().code(), StatusCode::kInvalidArgument);
+  policy = BackendPolicy();
+  policy.exact_max_edges = policy.sling_max_edges + 1;
+  EXPECT_FALSE(policy.Validate().ok());
+}
+
+TEST(BackendNamesTest, ChoiceGrammarRoundTrips) {
+  for (const char* name : {"mc", "sling", "exact", "auto"}) {
+    const auto choice = ParseBackendChoice(name);
+    ASSERT_TRUE(choice.has_value()) << name;
+    EXPECT_EQ(BackendChoiceName(*choice), name);
+  }
+  EXPECT_FALSE(ParseBackendChoice("montecarlo").has_value());
+  EXPECT_FALSE(ParseBackendChoice("").has_value());
+  EXPECT_FALSE(ParseBackendKind("auto").has_value());
+  EXPECT_EQ(ParseBackendKind("sling"), BackendKind::kSling);
+}
+
+// --- engine integration -----------------------------------------------------
+
+service::EngineOptions FastEngineOptions() {
+  service::EngineOptions options;
+  options.num_threads = 2;
+  options.search.seed = 808;
+  options.search.profile_walks = 64;
+  options.search.estimate_walks = 8;
+  options.search.refine_walks = 32;
+  return options;
+}
+
+TEST(EngineBackendTest, DefaultPrimaryIsMonteCarlo) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 11, 30);
+  auto engine = service::QueryEngine::Create(graph, FastEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->primary_backend(), BackendKind::kMonteCarlo);
+  auto response = (*engine)->Query(service::QueryRequest::ForVertex(5));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->backend, BackendKind::kMonteCarlo);
+}
+
+TEST(EngineBackendTest, AutoPicksExactForTinyGraphs) {
+  // 50 vertices / ~100 edges sits inside the exact tier.
+  DirectedGraph graph = testing::SmallRandomGraph(50, 12);
+  service::EngineOptions options = FastEngineOptions();
+  options.backend = BackendChoice::kAuto;
+  auto engine = service::QueryEngine::Create(graph, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->primary_backend(), BackendKind::kExact);
+  auto response = (*engine)->Query(service::QueryRequest::ForVertex(3));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->backend, BackendKind::kExact);
+}
+
+TEST(EngineBackendTest, AutoPicksSlingForMidGraphs) {
+  DirectedGraph graph = testing::SmallRandomGraph(400, 13, 100);
+  service::EngineOptions options = FastEngineOptions();
+  options.backend = BackendChoice::kAuto;
+  auto engine = service::QueryEngine::Create(graph, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->primary_backend(), BackendKind::kSling);
+}
+
+TEST(EngineBackendTest, AutoFallsBackToMonteCarloAboveTheCaps) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 14, 30);
+  service::EngineOptions options = FastEngineOptions();
+  options.backend = BackendChoice::kAuto;
+  // Shrink the tiers instead of building a two-million-edge graph.
+  options.backend_policy.exact_max_vertices = 4;
+  options.backend_policy.exact_max_edges = 4;
+  options.backend_policy.sling_max_vertices = 10;
+  options.backend_policy.sling_max_edges = 10;
+  auto engine = service::QueryEngine::Create(graph, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->primary_backend(), BackendKind::kMonteCarlo);
+}
+
+TEST(EngineBackendTest, CreateRejectsBadBackendConfiguration) {
+  DirectedGraph graph = testing::SmallRandomGraph(40, 15);
+  service::EngineOptions options = FastEngineOptions();
+  options.backend = static_cast<BackendChoice>(7);
+  EXPECT_FALSE(service::QueryEngine::Create(graph, options).ok());
+
+  options = FastEngineOptions();
+  options.backend_policy.exact_max_vertices =
+      options.backend_policy.sling_max_vertices + 1;
+  EXPECT_FALSE(service::QueryEngine::Create(graph, options).ok());
+
+  options = FastEngineOptions();
+  options.search.sling.precision = 0.0;
+  EXPECT_FALSE(service::QueryEngine::Create(graph, options).ok());
+}
+
+TEST(EngineBackendTest, PerRequestOverrideServesThatBackend) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 16, 30);
+  auto engine = service::QueryEngine::Create(graph, FastEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  auto response = (*engine)->Query(service::QueryRequest::ForVertex(7)
+                                       .WithBackend(BackendKind::kExact));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->backend, BackendKind::kExact);
+  EXPECT_FALSE(response->from_cache);
+  // The lazily built backend is remembered: a second overridden request
+  // hits the cache under the same (vertex, backend) key.
+  auto again = (*engine)->Query(service::QueryRequest::ForVertex(7)
+                                    .WithBackend(BackendKind::kExact));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->from_cache);
+  EXPECT_EQ(again->backend, BackendKind::kExact);
+}
+
+TEST(EngineBackendTest, RejectsUnknownBackendOverride) {
+  DirectedGraph graph = testing::SmallRandomGraph(40, 17);
+  auto engine = service::QueryEngine::Create(graph, FastEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  service::QueryRequest request = service::QueryRequest::ForVertex(3);
+  request.backend = static_cast<BackendKind>(9);
+  auto response = (*engine)->Query(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression: the cache key must include the backend. Without it, the
+// second request here would be served the first one's ranking.
+TEST(EngineBackendTest, CacheNeverServesAcrossBackends) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 18, 30);
+  auto engine = service::QueryEngine::Create(graph, FastEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  auto exact = (*engine)->Query(service::QueryRequest::ForVertex(9)
+                                    .WithBackend(BackendKind::kExact));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_FALSE(exact->from_cache);
+  auto sling = (*engine)->Query(service::QueryRequest::ForVertex(9)
+                                    .WithBackend(BackendKind::kSling));
+  ASSERT_TRUE(sling.ok());
+  EXPECT_FALSE(sling->from_cache) << "served the exact backend's entry";
+  EXPECT_EQ(sling->backend, BackendKind::kSling);
+  auto sling_again = (*engine)->Query(service::QueryRequest::ForVertex(9)
+                                          .WithBackend(BackendKind::kSling));
+  ASSERT_TRUE(sling_again.ok());
+  EXPECT_TRUE(sling_again->from_cache);
+  EXPECT_EQ(sling_again->backend, BackendKind::kSling);
+}
+
+TEST(EngineBackendTest, PerBackendRequestCountersIncrement) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 19, 30);
+  auto engine = service::QueryEngine::Create(graph, FastEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  obs::Counter& sling_requests = obs::MetricsRegistry::Default().GetCounter(
+      "service.backend.sling.requests");
+  obs::Counter& mc_requests = obs::MetricsRegistry::Default().GetCounter(
+      "service.backend.mc.requests");
+  const uint64_t sling_before = sling_requests.Value();
+  const uint64_t mc_before = mc_requests.Value();
+  ASSERT_TRUE((*engine)
+                  ->Query(service::QueryRequest::ForVertex(4).WithBackend(
+                      BackendKind::kSling))
+                  .ok());
+  ASSERT_TRUE((*engine)->Query(service::QueryRequest::ForVertex(4)).ok());
+  EXPECT_EQ(sling_requests.Value(), sling_before + 1);
+  EXPECT_EQ(mc_requests.Value(), mc_before + 1);
+}
+
+TEST(EngineBackendTest, EventsCarryTheBackendTag) {
+  EventLog::Default().Clear();
+  DirectedGraph graph = testing::SmallRandomGraph(60, 20, 30);
+  auto engine = service::QueryEngine::Create(graph, FastEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  auto response = (*engine)->Query(service::QueryRequest::ForVertex(6)
+                                       .WithBackend(BackendKind::kSling));
+  ASSERT_TRUE(response.ok());
+  const std::vector<QueryEvent> events = EventLog::Default().Snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().query_id, response->query_id);
+  EXPECT_EQ(events.back().backend,
+            static_cast<uint8_t>(BackendKind::kSling));
+}
+
+TEST(EngineBackendTest, EventsJsonNamesTheBackend) {
+  obs::EventsReport report;
+  QueryEvent event;
+  event.query_id = 77;
+  event.duration_ns = 1000;
+  event.backend = static_cast<uint8_t>(BackendKind::kSling);
+  report.events.push_back(event);
+  const JsonValue doc = ParseOrFail(obs::EventsToJson(report));
+  ASSERT_EQ(doc.At("events").array.size(), 1u);
+  // obs/export.cc keeps its own name table (obs cannot depend on
+  // simrank); this pins the two tables to each other.
+  EXPECT_EQ(doc.At("events").array[0].At("backend").string,
+            BackendKindName(BackendKind::kSling));
+}
+
+TEST(EngineBackendTest, AdoptBackendPinsThePrimary) {
+  DirectedGraph graph = testing::SmallRandomGraph(60, 21, 30);
+  service::EngineOptions options = FastEngineOptions();
+  std::unique_ptr<SearcherBackend> backend =
+      MakeBackend(BackendKind::kSling, graph, options.search);
+  auto engine =
+      service::QueryEngine::AdoptBackend(std::move(backend), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->primary_backend(), BackendKind::kSling);
+  auto response = (*engine)->Query(service::QueryRequest::ForVertex(2));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->backend, BackendKind::kSling);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -23,6 +23,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -127,8 +129,11 @@ int Usage() {
                "  stats      GRAPH\n"
                "  preprocess GRAPH --index=PATH [--estimate-diagonal]\n"
                "             [--decay=0.6] [--steps=11]\n"
+               "             [--backend=auto|mc|sling] [--precision=1e-4]\n"
                "  query      GRAPH --vertex=V [--index=PATH] [--k=20]\n"
                "             [--threshold=0.01] [--estimate-diagonal]\n"
+               "             [--backend=auto|mc|sling|exact]\n"
+               "             [--precision=1e-4]\n"
                "             [--repeat=N] [--slow-log=SECONDS]\n"
                "             [--slow-log-capacity=16]\n"
                "             [--slo=p99:0.05,error_rate:0.01,...]\n"
@@ -171,7 +176,22 @@ SearchOptions OptionsFromFlags(const Flags& flags) {
   options.threshold = flags.GetDouble("threshold", options.threshold);
   options.seed = flags.GetInt("seed", options.seed);
   options.estimate_diagonal = flags.GetBool("estimate-diagonal");
+  options.sling.precision =
+      flags.GetDouble("precision", options.sling.precision);
   return options;
+}
+
+// The --backend grammar. The default is the paper's Monte-Carlo engine so
+// flagless invocations behave exactly as they did before backends existed;
+// --backend=auto opts into stat-driven selection.
+Result<BackendChoice> BackendFromFlags(const Flags& flags) {
+  const std::string name = flags.GetString("backend", "mc");
+  const std::optional<BackendChoice> choice = ParseBackendChoice(name);
+  if (!choice.has_value()) {
+    return Status::InvalidArgument(
+        "--backend: expected auto, mc, sling or exact; got '" + name + "'");
+  }
+  return *choice;
 }
 
 // Parses the --slo grammar: comma-separated `objective:threshold` clauses
@@ -281,36 +301,60 @@ int CmdPreprocess(const Flags& flags) {
   if (flags.positional().empty()) return Usage();
   const std::string index_path = flags.GetString("index");
   if (index_path.empty()) return Fail("--index is required");
+  auto choice = BackendFromFlags(flags);
+  if (!choice.ok()) return Fail(choice.status());
   auto graph = LoadGraph(flags.positional()[0]);
   if (!graph.ok()) return Fail(graph.status());
-  TopKSearcher searcher(*graph, OptionsFromFlags(flags));
+  const SearchOptions options = OptionsFromFlags(flags);
+  const Status valid = options.Validate();
+  if (!valid.ok()) return Fail(valid);
+  const BackendKind kind = *choice == BackendChoice::kAuto
+                               ? SelectBackend(ComputeGraphStats(*graph))
+                               : static_cast<BackendKind>(*choice);
+  std::unique_ptr<SearcherBackend> backend = MakeBackend(kind, *graph, options);
+  if (!backend->capabilities().serializable) {
+    return Fail(Status::InvalidArgument(
+        std::string("backend '") + std::string(backend->name()) +
+        "' has no index to preprocess; use mc or sling"));
+  }
   WallTimer timer;
-  searcher.BuildIndex();
-  std::printf("preprocess: %s (diagonal %s, index %s)\n",
+  backend->Build();
+  std::printf("preprocess [%s]: %s (index %s)\n",
+              std::string(backend->name()).c_str(),
               FormatDuration(timer.ElapsedSeconds()).c_str(),
-              FormatDuration(searcher.diagonal_seconds()).c_str(),
-              FormatBytes(searcher.PreprocessBytes()).c_str());
-  const Status status = SaveSearcherIndex(searcher, index_path);
+              FormatBytes(backend->MemoryBytes()).c_str());
+  const Status status = SaveBackendIndex(*backend, index_path);
   if (!status.ok()) return Fail(status);
   std::printf("index written to %s\n", index_path.c_str());
   return 0;
 }
 
-// Stands up the serving engine over a graph, either adopting a searcher
+// Stands up the serving engine over a graph, either adopting a backend
 // restored from --index or building the preprocess from scratch. Invalid
 // flag combinations come back as a Status, never an abort.
 Result<std::unique_ptr<service::QueryEngine>> MakeEngine(
     const DirectedGraph& graph, const Flags& flags,
     service::EngineOptions options) {
+  auto backend = BackendFromFlags(flags);
+  if (!backend.ok()) return backend.status();
+  options.backend = *backend;
   options.search = OptionsFromFlags(flags);
   options.num_threads =
       static_cast<uint32_t>(flags.GetInt("threads", options.num_threads));
   const std::string index_path = flags.GetString("index");
   if (!index_path.empty()) {
-    auto loaded = LoadSearcherIndex(graph, options.search, index_path);
+    // A serialized index is backend-specific, so auto-selection cannot
+    // apply; the flag must name the kind the file was built with.
+    if (*backend == BackendChoice::kAuto) {
+      return Status::InvalidArgument(
+          "--backend=auto cannot load --index; name the backend the index "
+          "was built with (mc or sling)");
+    }
+    auto loaded = LoadBackendIndex(static_cast<BackendKind>(*backend), graph,
+                                   options.search, index_path);
     if (!loaded.ok()) return loaded.status();
-    return service::QueryEngine::Adopt(std::move(*loaded),
-                                       std::move(options));
+    return service::QueryEngine::AdoptBackend(std::move(*loaded),
+                                              std::move(options));
   }
   return service::QueryEngine::Create(graph, std::move(options));
 }
@@ -335,10 +379,11 @@ int CmdQuery(const Flags& flags) {
   if (!response.ok()) return Fail(response.status());
   PrintRanking(response->top);
   std::printf(
-      "%.2f ms, %llu candidates, %llu refined\n",
+      "%.2f ms, %llu candidates, %llu refined (backend=%s)\n",
       response->engine_seconds * 1e3,
       static_cast<unsigned long long>(response->stats.candidates_enumerated),
-      static_cast<unsigned long long>(response->stats.refined));
+      static_cast<unsigned long long>(response->stats.refined),
+      std::string(BackendKindName(response->backend)).c_str());
   // Repeats walk the vertex space from --vertex so every request is a
   // distinct query — traffic for the event telemetry (--events-json,
   // --slo, --slow-log) rather than N cache hits on one key.
@@ -412,6 +457,13 @@ int CmdAllPairs(const Flags& flags) {
   if (flags.positional().empty()) return Usage();
   const std::string out = flags.GetString("out");
   if (out.empty()) return Fail("--out is required");
+  auto backend = BackendFromFlags(flags);
+  if (!backend.ok()) return Fail(backend.status());
+  if (*backend != BackendChoice::kMonteCarlo) {
+    return Fail(
+        "allpairs requires --backend=mc: the checkpointed all-pairs runner "
+        "is tied to the Monte-Carlo kernel");
+  }
   auto graph = LoadGraph(flags.positional()[0]);
   if (!graph.ok()) return Fail(graph.status());
   service::EngineOptions engine_options;

@@ -7,7 +7,7 @@
 // Aggregate metrics (metrics.h) answer "how is the service doing";
 // the flight recorder answers "what were the last N queries, exactly" —
 // the record a p999 investigation or a crash postmortem needs. Cost per
-// query is one uncontended shard mutex plus a 56-byte struct copy, which
+// query is one uncontended shard mutex plus a 72-byte struct copy, which
 // is why it can stay on in production (budget: ≤ 2% on BM_EngineQuery,
 // measured by the BM_EngineQueryEvents / BM_EngineQueryNoEvents pair).
 //
@@ -56,7 +56,8 @@ enum class QueryEventMode : uint8_t {
 enum QueryEventFlags : uint8_t {
   kEventCacheHit = 1u << 0,   ///< served from the result cache
   kEventDegraded = 1u << 1,   ///< refine pass dropped to the rough walks
-  kEventShed = 1u << 2,       ///< load shedding triggered the degradation
+  kEventShed = 1u << 2,       ///< shed by admission control: answered
+                              ///< Unavailable without running the backend
   kEventSubmitted = 1u << 3,  ///< arrived via Submit/SubmitBatch (queued)
 };
 
@@ -70,6 +71,7 @@ struct QueryEvent {
   uint64_t queue_wait_ns = 0;  ///< time queued before a worker started it
   uint64_t walks = 0;          ///< random walks spent (profile + estimate
                                ///< + refine; 0 for cache hits)
+  uint64_t client_hash = 0;    ///< mixed hash of the client id (0 = none)
   uint32_t vertex = 0;         ///< first query vertex
   uint32_t k = 0;              ///< effective k after per-request overrides
   uint32_t group_size = 1;     ///< number of query vertices
@@ -77,6 +79,9 @@ struct QueryEvent {
   uint8_t status = 0;          ///< util StatusCode of the execution outcome
   uint8_t flags = 0;           ///< QueryEventFlags
   uint8_t backend = 0;         ///< simrank::BackendKind that served it
+  uint8_t priority = 0;        ///< service::PriorityClass of the request
+  uint8_t decision = 0;        ///< service::AdmissionDecision — why the
+                               ///< query was admitted/degraded/shed
 };
 static_assert(std::is_trivially_copyable_v<QueryEvent>);
 

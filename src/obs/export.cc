@@ -314,6 +314,38 @@ const char* BackendTagName(uint8_t backend) {
   }
 }
 
+// Stable names of service::PriorityClass / service::AdmissionDecision,
+// duplicated for the same layering reason as BackendTagName (obs cannot
+// include service headers). Kept in sync by the admission tests, which
+// assert the exported tags round-trip through these tables.
+const char* PriorityTagName(uint8_t priority) {
+  switch (priority) {
+    case 0:
+      return "interactive";
+    case 1:
+      return "batch";
+    default:
+      return "unknown";
+  }
+}
+
+const char* DecisionTagName(uint8_t decision) {
+  switch (decision) {
+    case 0:
+      return "admitted";
+    case 1:
+      return "degraded";
+    case 2:
+      return "shed_queue_full";
+    case 3:
+      return "shed_rate_limited";
+    case 4:
+      return "shed_overload";
+    default:
+      return "unknown";
+  }
+}
+
 void WriteQueryEvent(JsonWriter& json, const QueryEvent& event) {
   json.BeginObject();
   json.Key("id").Uint(event.query_id);
@@ -329,6 +361,13 @@ void WriteQueryEvent(JsonWriter& json, const QueryEvent& event) {
   json.Key("backend").String(BackendTagName(event.backend));
   json.Key("status").String(
       StatusCodeName(static_cast<StatusCode>(event.status)));
+  // Admission-control context (PR 9): why this query was admitted,
+  // degraded or shed, which priority class it ran as, and a stable hash
+  // of the client it was accounted to — the postmortem's "why was this
+  // query degraded" record.
+  json.Key("priority").String(PriorityTagName(event.priority));
+  json.Key("decision").String(DecisionTagName(event.decision));
+  json.Key("client").Uint(event.client_hash);
   json.Key("cache_hit").Bool((event.flags & kEventCacheHit) != 0);
   json.Key("degraded").Bool((event.flags & kEventDegraded) != 0);
   json.Key("shed").Bool((event.flags & kEventShed) != 0);

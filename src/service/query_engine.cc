@@ -29,22 +29,39 @@ struct ServiceMetrics {
   obs::Counter& rejected;
   obs::Counter& deadline_exceeded;
   obs::Counter& degraded;
+  obs::Counter& shed;
   obs::Histogram& latency_ns;
   /// Per-backend request split, indexed by BackendKind:
   /// service.backend.<name>.requests.
   std::array<obs::Counter*, kNumBackendKinds> backend_requests;
+  /// Per-priority-class split, indexed by PriorityClass:
+  /// service.class.<name>.{requests,shed,degraded,latency_ns}.
+  std::array<obs::Counter*, kNumPriorityClasses> class_requests;
+  std::array<obs::Counter*, kNumPriorityClasses> class_shed;
+  std::array<obs::Counter*, kNumPriorityClasses> class_degraded;
+  std::array<obs::Histogram*, kNumPriorityClasses> class_latency_ns;
 
   ServiceMetrics()
       : requests(Registry().GetCounter("service.requests")),
         rejected(Registry().GetCounter("service.rejected")),
         deadline_exceeded(Registry().GetCounter("service.deadline_exceeded")),
         degraded(Registry().GetCounter("service.degraded")),
+        shed(Registry().GetCounter("service.shed")),
         latency_ns(Registry().GetHistogram("service.latency_ns")) {
     for (BackendKind kind : RegisteredBackends()) {
       backend_requests[static_cast<size_t>(kind)] =
           &Registry().GetCounter("service.backend." +
                                  std::string(BackendKindName(kind)) +
                                  ".requests");
+    }
+    for (size_t i = 0; i < kNumPriorityClasses; ++i) {
+      const std::string prefix =
+          "service.class." +
+          std::string(PriorityClassName(static_cast<PriorityClass>(i)));
+      class_requests[i] = &Registry().GetCounter(prefix + ".requests");
+      class_shed[i] = &Registry().GetCounter(prefix + ".shed");
+      class_degraded[i] = &Registry().GetCounter(prefix + ".degraded");
+      class_latency_ns[i] = &Registry().GetHistogram(prefix + ".latency_ns");
     }
   }
 
@@ -66,6 +83,13 @@ size_t ResolveThreads(uint32_t num_threads) {
 
 bool DeadlinePassed(const std::optional<EngineClock::time_point>& deadline) {
   return deadline.has_value() && EngineClock::now() >= *deadline;
+}
+
+/// Steady-clock time as fractional seconds — the timebase the admission
+/// controller's token buckets and feedback window run on.
+double SteadySeconds() {
+  return std::chrono::duration<double>(EngineClock::now().time_since_epoch())
+      .count();
 }
 
 /// Walks the kernel spent on a response, reconstructed from its stats
@@ -113,6 +137,7 @@ Status ValidateEngineOptions(const EngineOptions& options) {
     return Status::InvalidArgument(
         "EngineOptions::slow_log_threshold_seconds must be >= 0");
   }
+  SIMRANK_RETURN_IF_ERROR(options.admission.Validate());
   for (const obs::SloSpec& spec : options.slos) {
     if (spec.name.empty()) {
       return Status::InvalidArgument("SloSpec::name must not be empty");
@@ -180,6 +205,16 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Finish(
   // Enough pooled workspaces for every worker plus a couple of synchronous
   // callers; beyond that, bursts allocate and drop.
   engine->max_pooled_workspaces_ = engine->pool_.num_threads() * 2 + 2;
+  // The PR 3 watermark is a legacy alias for the admission controller's
+  // degrade watermark; an explicit admission.degrade_watermark wins.
+  if (engine->options_.admission.degrade_watermark == 0) {
+    engine->options_.admission.degrade_watermark =
+        engine->options_.load_shed_watermark;
+  }
+  if (engine->options_.admission.any_enabled()) {
+    engine->admission_ =
+        std::make_unique<AdmissionController>(engine->options_.admission);
+  }
   if (engine->options_.record_events) {
     // The event sinks are process-wide (like the metrics registry):
     // engines configure them, the CLI / postmortem hook read them without
@@ -289,11 +324,56 @@ Status QueryEngine::ValidateRequest(const QueryRequest& request) const {
   return Status::OK();
 }
 
+QueryResponse QueryEngine::Shed(const QueryRequest& request,
+                                AdmissionDecision decision, bool submitted) {
+  ServiceMetrics& metrics = GetServiceMetrics();
+  metrics.requests.Add(1);
+  metrics.shed.Add(1);
+  const size_t cls = static_cast<size_t>(request.priority);
+  metrics.class_requests[cls]->Add(1);
+  metrics.class_shed[cls]->Add(1);
+  QueryResponse response;
+  response.decision = decision;
+  response.backend = request.backend.value_or(primary_kind_);
+  response.status = Status::Unavailable(
+      std::string("request shed by admission control: ") +
+      AdmissionDecisionName(decision));
+  const bool events =
+      options_.record_events && obs::IsEnabled() && obs::EventsEnabled();
+  if (events) {
+    obs::QueryEvent event;
+    event.start_ns = obs::EventLog::NowNs();
+    event.vertex = request.vertices.front();
+    event.k = request.k.value_or(options_.search.k);
+    event.group_size = static_cast<uint32_t>(request.vertices.size());
+    event.mode = request.is_group() ? obs::QueryEventMode::kGroup
+                                    : obs::QueryEventMode::kVertex;
+    event.backend = static_cast<uint8_t>(response.backend);
+    event.status = static_cast<uint8_t>(response.status.code());
+    event.flags = obs::kEventShed;
+    if (submitted) event.flags |= obs::kEventSubmitted;
+    event.priority = static_cast<uint8_t>(request.priority);
+    event.decision = static_cast<uint8_t>(decision);
+    event.client_hash = HashClientId(request.client_id);
+    response.query_id = obs::EventLog::Default().Record(event);
+    obs::RollingWindow::Default().Record(obs::RollingWindow::NowSecond(),
+                                         /*latency_ns=*/0, event.flags,
+                                         event.status);
+  }
+  return response;
+}
+
 Result<QueryResponse> QueryEngine::Query(const QueryRequest& request) {
   const Status status = ValidateRequest(request);
   if (!status.ok()) {
     GetServiceMetrics().rejected.Add(1);
     return status;
+  }
+  if (admission_ != nullptr) {
+    const AdmissionDecision decision =
+        admission_->Admit(request.priority, HashClientId(request.client_id),
+                          SteadySeconds(), /*will_queue=*/false);
+    if (IsShed(decision)) return Shed(request, decision, /*submitted=*/false);
   }
   return Execute(request, /*queue_seconds=*/0.0, /*submitted=*/false);
 }
@@ -305,6 +385,19 @@ Result<std::future<Result<QueryResponse>>> QueryEngine::Submit(
     GetServiceMetrics().rejected.Add(1);
     return status;
   }
+  if (admission_ != nullptr) {
+    // will_queue charges a backlog slot to the request's class on
+    // admission — a full class is refused *here*, before the pool queue
+    // grows, which is what makes the per-class bounds real.
+    const AdmissionDecision decision =
+        admission_->Admit(request.priority, HashClientId(request.client_id),
+                          SteadySeconds(), /*will_queue=*/true);
+    if (IsShed(decision)) {
+      std::promise<Result<QueryResponse>> resolved;
+      resolved.set_value(Shed(request, decision, /*submitted=*/true));
+      return resolved.get_future();
+    }
+  }
   auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
   std::future<Result<QueryResponse>> future = promise->get_future();
   const EngineClock::time_point enqueued = EngineClock::now();
@@ -313,6 +406,7 @@ Result<std::future<Result<QueryResponse>>> QueryEngine::Submit(
     // Depth is "submitted but not yet started": drop out before the
     // load-shed check so a request never sheds on account of itself.
     queued_.fetch_sub(1, std::memory_order_relaxed);
+    if (admission_ != nullptr) admission_->OnDequeue(request.priority);
     const double queue_seconds =
         std::chrono::duration<double>(EngineClock::now() - enqueued).count();
     try {
@@ -384,6 +478,23 @@ Result<AllPairsFileReport> QueryEngine::RunAllPairsToFile(
   AllPairsFileOptions engine_options = options;
   engine_options.run.pool = &pool_;
   return simrank::RunAllPairsToFile(searcher(), engine_options, path);
+}
+
+size_t QueryEngine::PrewarmCache(std::span<const Vertex> vertices) {
+  if (cache_ == nullptr) return 0;
+  // Synchronous Query calls fanned over the pool: prewarming never
+  // inflates the submit backlog, so it cannot trip the degrade
+  // watermark and defeat itself (degraded results are never cached).
+  std::atomic<size_t> warmed{0};
+  ParallelFor(&pool_, 0, vertices.size(), [&](size_t i) {
+    QueryRequest request = QueryRequest::ForVertex(vertices[i]);
+    request.priority = PriorityClass::kBatch;
+    const Result<QueryResponse> result = Query(request);
+    if (result.ok() && result.value().ok() && !result.value().degraded) {
+      warmed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  return warmed.load(std::memory_order_relaxed);
 }
 
 void QueryEngine::InvalidateCache() {
@@ -459,13 +570,16 @@ Result<QueryResponse> QueryEngine::Execute(const QueryRequest& request,
                                   response.degraded,
                                   request.vertices.size());
     }
-    // The engine's only degradation today is shed-triggered, so the two
-    // flags travel together; a future degradation mode (e.g. per-request
-    // quality hints) would set kEventDegraded alone.
-    if (response.degraded) event.flags |= obs::kEventDegraded | obs::kEventShed;
+    // Degraded means "ran, rough quality"; shed means "refused, never
+    // ran" and is recorded on the Shed() path, so the flags no longer
+    // travel together.
+    if (response.degraded) event.flags |= obs::kEventDegraded;
+    event.decision = static_cast<uint8_t>(response.decision);
   } else {
     event.status = static_cast<uint8_t>(result.status().code());
   }
+  event.priority = static_cast<uint8_t>(request.priority);
+  event.client_hash = HashClientId(request.client_id);
   const uint64_t query_id = obs::EventLog::Default().Record(event);
   event.query_id = query_id;
   if (result.ok()) result.value().query_id = query_id;
@@ -502,6 +616,8 @@ Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
   const BackendKind backend_kind = request.backend.value_or(primary_kind_);
   response.backend = backend_kind;
   metrics.backend_requests[static_cast<size_t>(backend_kind)]->Add(1);
+  const size_t cls = static_cast<size_t>(request.priority);
+  metrics.class_requests[cls]->Add(1);
 
   // Stage 1: result cache. Keyed on the *effective* options — including
   // the backend identity, so a mixed-backend engine never serves one
@@ -521,6 +637,13 @@ Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
       response.from_cache = true;
       response.engine_seconds = timer.ElapsedSeconds();
       metrics.latency_ns.RecordSeconds(response.engine_seconds);
+      metrics.class_latency_ns[cls]->RecordSeconds(response.engine_seconds);
+      if (admission_ != nullptr) {
+        admission_->OnComplete(
+            request.priority,
+            static_cast<uint64_t>(response.engine_seconds * 1e9),
+            SteadySeconds());
+      }
       return response;
     }
   }
@@ -533,23 +656,35 @@ Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
     response.engine_seconds = timer.ElapsedSeconds();
     metrics.deadline_exceeded.Add(1);
     metrics.latency_ns.RecordSeconds(response.engine_seconds);
+    metrics.class_latency_ns[cls]->RecordSeconds(response.engine_seconds);
+    if (admission_ != nullptr) {
+      admission_->OnComplete(
+          request.priority,
+          static_cast<uint64_t>(response.engine_seconds * 1e9),
+          SteadySeconds());
+    }
     return response;
   }
 
-  // Stage 3: load shedding. Under a backlog, drop the refine pass to the
-  // rough sample count — reported via `degraded`, never silent, and the
+  // Stage 3: degradation. The admission controller decides quality —
+  // from its SLO-feedback level or the queue-depth watermark — and the
+  // engine applies it by dropping the refine pass to the rough sample
+  // count: reported via `degraded`/`decision`, never silent, and the
   // result is never cached. Only the sampling backend has a cheaper
   // degraded mode; the deterministic backends have nothing to shed.
   QueryOverrides overrides{.k = request.k,
                            .threshold = request.threshold,
                            .refine_walks = std::nullopt};
-  if (backend_kind == BackendKind::kMonteCarlo &&
-      options_.load_shed_watermark > 0 &&
-      queued_.load(std::memory_order_relaxed) > options_.load_shed_watermark &&
-      options_.search.refine_walks > options_.search.estimate_walks) {
+  if (admission_ != nullptr && backend_kind == BackendKind::kMonteCarlo &&
+      options_.search.refine_walks > options_.search.estimate_walks &&
+      admission_->ExecutionDecision(
+          request.priority, queued_.load(std::memory_order_relaxed)) ==
+          AdmissionDecision::kDegraded) {
     overrides.refine_walks = options_.search.estimate_walks;
     response.degraded = true;
+    response.decision = AdmissionDecision::kDegraded;
     metrics.degraded.Add(1);
+    metrics.class_degraded[cls]->Add(1);
   }
 
   // Stage 4: run the backend.
@@ -571,6 +706,12 @@ Result<QueryResponse> QueryEngine::ExecuteStages(const QueryRequest& request,
     cache_->Insert(key, CacheEntry{response.top, response.stats});
   }
   metrics.latency_ns.RecordSeconds(response.engine_seconds);
+  metrics.class_latency_ns[cls]->RecordSeconds(response.engine_seconds);
+  if (admission_ != nullptr) {
+    admission_->OnComplete(request.priority,
+                           static_cast<uint64_t>(response.engine_seconds * 1e9),
+                           SteadySeconds());
+  }
   return response;
 }
 

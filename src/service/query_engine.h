@@ -46,6 +46,7 @@
 
 #include "graph/graph.h"
 #include "obs/rolling.h"
+#include "service/admission.h"
 #include "simrank/all_pairs.h"
 #include "simrank/searcher_backend.h"
 #include "simrank/top_k_searcher.h"
@@ -92,6 +93,14 @@ struct QueryRequest {
   /// Skips both cache lookup and cache insertion for this request.
   bool bypass_cache = false;
 
+  /// Admission class (docs/SERVING.md): interactive is what the latency
+  /// SLO defends; batch degrades and sheds first under overload.
+  PriorityClass priority = PriorityClass::kInteractive;
+
+  /// Client identity for per-client rate limits and the per-query event
+  /// record. Empty means anonymous: never rate-limited, hashed to 0.
+  std::string client_id;
+
   static QueryRequest ForVertex(Vertex v) {
     QueryRequest request;
     request.vertices.push_back(v);
@@ -126,6 +135,14 @@ struct QueryRequest {
     backend = kind;
     return std::move(*this);
   }
+  QueryRequest&& WithPriority(PriorityClass priority_class) && {
+    priority = priority_class;
+    return std::move(*this);
+  }
+  QueryRequest&& WithClientId(std::string client) && {
+    client_id = std::move(client);
+    return std::move(*this);
+  }
 
   bool is_group() const { return vertices.size() > 1; }
 };
@@ -142,9 +159,14 @@ struct QueryResponse {
   QueryStats stats;
   /// True when the ranking was served from the result cache.
   bool from_cache = false;
-  /// True when load shedding degraded this query (refine pass dropped to
-  /// the rough sample count). Degraded results are never cached.
+  /// True when admission control degraded this query (refine pass
+  /// dropped to the rough sample count). Degraded results are never
+  /// cached. Always agrees with `decision == kDegraded`.
   bool degraded = false;
+  /// Why admission control admitted/degraded/shed this request. Shed
+  /// decisions pair with a kUnavailable `status`: the request was
+  /// accepted but the engine refused to run it (retryable).
+  AdmissionDecision decision = AdmissionDecision::kAdmitted;
   /// Time spent queued before a worker picked the request up (Submit /
   /// SubmitBatch paths; 0 for synchronous Query calls).
   double queue_seconds = 0.0;
@@ -184,11 +206,18 @@ struct EngineOptions {
   size_t cache_capacity = 4096;
   uint32_t cache_shards = 8;
 
-  /// Load shedding: when more than this many submitted requests are
-  /// waiting for a worker, queries run with refine_walks dropped to
-  /// estimate_walks (the rough pass) and report degraded = true.
-  /// 0 disables shedding.
+  /// Legacy alias (PR 3) for `admission.degrade_watermark`: when more
+  /// than this many submitted requests are waiting for a worker, queries
+  /// run with refine_walks dropped to estimate_walks (the rough pass)
+  /// and report degraded = true. 0 disables. Ignored when
+  /// `admission.degrade_watermark` is set explicitly.
   size_t load_shed_watermark = 0;
+
+  /// Admission control (docs/SERVING.md): per-class bounded backlogs,
+  /// per-client token buckets, and the SLO-feedback degradation curve.
+  /// The zero value disables all of it, keeping default serving
+  /// behavior bit-identical to earlier releases.
+  AdmissionOptions admission;
 
   /// Per-query event telemetry: every executed request is recorded into
   /// the process-wide flight recorder (obs::EventLog::Default()) and
@@ -277,6 +306,18 @@ class QueryEngine {
   Result<AllPairsFileReport> RunAllPairsToFile(
       const AllPairsFileOptions& options, const std::string& path);
 
+  /// Warms the result cache with full-quality top-k rankings for
+  /// `vertices` (e.g. the head of the measured popularity distribution,
+  /// docs/SERVING.md) by running them as batch-priority queries on the
+  /// engine's pool. Returns the number that completed OK. No-op (0)
+  /// when the cache is disabled.
+  size_t PrewarmCache(std::span<const Vertex> vertices);
+
+  /// The admission controller, or null when every admission knob is at
+  /// its disabled default (read-only: level and queue depths for
+  /// monitoring and tests).
+  const AdmissionController* admission() const { return admission_.get(); }
+
   /// Drops every cached result (call after mutating external state the
   /// rankings were derived from).
   void InvalidateCache();
@@ -309,6 +350,9 @@ class QueryEngine {
 
   const EngineOptions& options() const { return options_; }
 
+  /// The graph this engine serves (the one passed to Create/Adopt).
+  const DirectedGraph& graph() const { return graph_; }
+
  private:
   struct Workspace;
   class WorkspaceLease;
@@ -319,6 +363,10 @@ class QueryEngine {
       std::unique_ptr<QueryEngine> engine);
 
   Status ValidateRequest(const QueryRequest& request) const;
+  /// Builds (and event-records) the Unavailable response of a shed
+  /// request — the engine's refusal path; nothing executes.
+  QueryResponse Shed(const QueryRequest& request, AdmissionDecision decision,
+                     bool submitted);
   Result<QueryResponse> Execute(const QueryRequest& request,
                                 double queue_seconds, bool submitted);
   Result<QueryResponse> ExecuteStages(const QueryRequest& request,
@@ -357,6 +405,10 @@ class QueryEngine {
       backend_ptrs_{};
 
   std::unique_ptr<ResultCache> cache_;  // null when disabled
+
+  /// Null when EngineOptions::admission is fully disabled — the default
+  /// request path then has zero admission-control overhead.
+  std::unique_ptr<AdmissionController> admission_;
 
   std::atomic<size_t> queued_{0};
 

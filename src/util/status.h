@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnimplemented,
   kDeadlineExceeded,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -64,6 +65,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The service is refusing work it could normally do (admission-control
+  /// shed, rate limit, overload). Retryable by design: the request was
+  /// valid, the server chose not to run it right now.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

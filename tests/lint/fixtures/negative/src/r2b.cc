@@ -1,0 +1,15 @@
+// Fixture: rule R2 must stay quiet — loadgen-style sampling hand rolled
+// over the project Rng: exponential inter-arrivals by inverse CDF and
+// thinning by Bernoulli (a comment naming exponential_distribution or
+// drand48 must not count).
+#include <cmath>
+
+#include "util/rng.h"
+
+double NextInterArrival(simrank::Rng& rng, double rate) {
+  return -std::log(1.0 - rng.UniformDouble()) / rate;
+}
+
+bool ThinningAccept(simrank::Rng& rng, double probability) {
+  return rng.Bernoulli(probability);
+}

@@ -1,0 +1,12 @@
+// Fixture: rule R2 must fire three times — loadgen-style sampling
+// through a <random> engine, a distribution adaptor, and the C drand48
+// family, all of which break bit-stable seeded replay.
+#include <cstdlib>
+#include <random>
+
+double NextInterArrival(std::mt19937_64& gen, double rate) {
+  std::exponential_distribution<double> exp_dist(rate);
+  return exp_dist(gen);
+}
+
+double ThinningAccept() { return drand48(); }

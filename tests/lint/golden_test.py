@@ -72,6 +72,7 @@ def main():
     expected = {
         ("R1", "src/r1.cc"): 1,
         ("R2", "src/r2.cc"): 1,
+        ("R2", "src/r2b.cc"): 3,  # engine + distribution adaptor + drand48
         ("R3", "src/r3.cc"): 1,
         ("R3", "src/r3b.cc"): 1,
         ("R4", "src/r4.cc"): 1,

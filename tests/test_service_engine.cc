@@ -9,6 +9,7 @@
 #include <cmath>
 #include <future>
 #include <limits>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -384,6 +385,213 @@ TEST_F(ServiceEngineTest, BacklogShedsLoadAndReportsDegradation) {
       (*engine)->Query(QueryRequest::ForVertex(0).WithBypassCache());
   ASSERT_TRUE(calm.ok());
   EXPECT_FALSE(calm->degraded);
+}
+
+// ------------------------------------------------- admission control (engine)
+
+TEST_F(ServiceEngineTest, SaturatedQueueShedsWithUnavailableNeverCached) {
+  EngineOptions options = BaseEngine();
+  options.num_threads = 1;
+  options.admission.interactive_queue_limit = 1;
+  auto engine = QueryEngine::Create(graph_, options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<QueryRequest> requests;
+  for (Vertex v = 0; v < 24; ++v) {
+    requests.push_back(QueryRequest::ForVertex(v));
+  }
+  const auto responses = (*engine)->SubmitBatch(requests);
+  size_t ok = 0, shed = 0;
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.ok());  // shed is an answer, not a Submit error
+    if (response->status.ok()) {
+      EXPECT_EQ(response->decision, AdmissionDecision::kAdmitted);
+      ++ok;
+    } else {
+      // The shed contract: Unavailable status, a shed decision, no
+      // result payload, and no backend work billed to the request.
+      ASSERT_EQ(response->status.code(), StatusCode::kUnavailable);
+      EXPECT_TRUE(IsShed(response->decision));
+      EXPECT_EQ(response->decision, AdmissionDecision::kShedQueueFull);
+      EXPECT_TRUE(response->top.empty());
+      EXPECT_EQ(response->stats.candidates_enumerated, 0u);
+      ++shed;
+    }
+  }
+  // One worker against 24 rapid submissions with a 1-deep backlog bound:
+  // most of the batch must have been refused.
+  EXPECT_GE(shed, 1u);
+  EXPECT_GE(ok, 1u);  // the queue drains, so some always get through
+  // Shed responses are never cached.
+  EXPECT_LE((*engine)->CacheSize(), ok);
+
+  // Once the backlog drains the engine admits again.
+  auto calm = (*engine)->Query(QueryRequest::ForVertex(0).WithBypassCache());
+  ASSERT_TRUE(calm.ok());
+  EXPECT_TRUE(calm->status.ok());
+  EXPECT_EQ(calm->decision, AdmissionDecision::kAdmitted);
+}
+
+TEST_F(ServiceEngineTest, AbusiveClientIsRateLimitedOthersUnaffected) {
+  EngineOptions options = BaseEngine();
+  options.admission.client_rate = 1.0;
+  options.admission.client_burst = 1.0;
+  auto engine = QueryEngine::Create(graph_, options);
+  ASSERT_TRUE(engine.ok());
+
+  auto first = (*engine)->Query(
+      QueryRequest::ForVertex(0).WithBypassCache().WithClientId("abusive"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->status.ok());
+
+  // The second request lands milliseconds later: the 1 rps bucket has
+  // refilled a fraction of a token, so it is refused as rate-limited.
+  auto second = (*engine)->Query(
+      QueryRequest::ForVertex(1).WithBypassCache().WithClientId("abusive"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(second->decision, AdmissionDecision::kShedRateLimited);
+
+  // A different client and the anonymous client are unaffected.
+  auto other = (*engine)->Query(
+      QueryRequest::ForVertex(2).WithBypassCache().WithClientId("polite"));
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other->status.ok());
+  auto anonymous =
+      (*engine)->Query(QueryRequest::ForVertex(3).WithBypassCache());
+  ASSERT_TRUE(anonymous.ok());
+  EXPECT_TRUE(anonymous->status.ok());
+
+  ASSERT_NE((*engine)->admission(), nullptr);
+  EXPECT_EQ((*engine)->admission()->tracked_clients(), 2u);
+}
+
+TEST_F(ServiceEngineTest, AdmissionWatermarkDegradesAndRecordsDecision) {
+  EngineOptions options = BaseEngine();
+  options.num_threads = 1;
+  options.admission.degrade_watermark = 1;  // new-style knob, not legacy
+  auto engine = QueryEngine::Create(graph_, options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<QueryRequest> requests;
+  for (Vertex v = 0; v < 16; ++v) {
+    requests.push_back(QueryRequest::ForVertex(v));
+  }
+  const auto responses = (*engine)->SubmitBatch(requests);
+  size_t degraded = 0;
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->status.ok());  // degraded still answers OK
+    EXPECT_EQ(response->degraded,
+              response->decision == AdmissionDecision::kDegraded);
+    if (response->degraded) ++degraded;
+  }
+  EXPECT_GE(degraded, 1u);
+  // Degraded responses are never cached.
+  EXPECT_LE((*engine)->CacheSize(), requests.size() - degraded);
+}
+
+TEST_F(ServiceEngineTest, ValidateEngineOptionsCoversAdmission) {
+  EngineOptions options = BaseEngine();
+  options.admission.client_rate = -2.0;
+  auto engine = QueryEngine::Create(graph_, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+
+  options = BaseEngine();
+  options.admission.target_p99_seconds = 0.5;
+  options.admission.recover_steps = 0;
+  EXPECT_FALSE(QueryEngine::Create(graph_, options).ok());
+
+  // All-zero admission options build no controller at all.
+  options = BaseEngine();
+  auto plain = QueryEngine::Create(graph_, options);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*plain)->admission(), nullptr);
+}
+
+TEST_F(ServiceEngineTest, PrewarmCachePopulatesThePopularityHead) {
+  auto engine = QueryEngine::Create(graph_, BaseEngine());
+  ASSERT_TRUE(engine.ok());
+  const std::vector<Vertex> head = {3, 1, 4, 1, 5};  // duplicate on purpose
+  const size_t warmed = (*engine)->PrewarmCache(head);
+  EXPECT_EQ(warmed, head.size());
+  EXPECT_EQ((*engine)->CacheSize(), 4u);  // distinct vertices only
+  auto hit = (*engine)->Query(QueryRequest::ForVertex(3));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->from_cache);
+}
+
+// Saturation stress across both priority classes with every admission
+// mechanism armed; the TSan preset runs race detection over this path.
+// Every response must be either OK (with decision/degraded agreeing) or
+// the well-formed shed answer — never an internal error.
+TEST_F(ServiceEngineTest, ConcurrentSaturationWithAdmissionControl) {
+  EngineOptions options = BaseEngine();
+  options.num_threads = 2;
+  options.admission.interactive_queue_limit = 4;
+  options.admission.batch_queue_limit = 2;
+  options.admission.degrade_watermark = 2;
+  options.admission.client_rate = 1000.0;  // high: exercised, rarely trips
+  options.cache_capacity = 16;  // churn eviction under load
+  auto engine = QueryEngine::Create(graph_, options);
+  ASSERT_TRUE(engine.ok());
+
+  constexpr int kClientThreads = 4;
+  constexpr int kIterations = 30;
+  std::atomic<int> failures{0};
+  std::atomic<int> ok_count{0}, shed_count{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const std::string client_id = "stress-" + std::to_string(t);
+      std::vector<std::future<Result<QueryResponse>>> pending;
+      for (int i = 0; i < kIterations; ++i) {
+        const Vertex v =
+            static_cast<Vertex>((t * 41 + i * 13) % graph_.NumVertices());
+        const PriorityClass priority =
+            i % 3 == 0 ? PriorityClass::kBatch : PriorityClass::kInteractive;
+        auto submitted = (*engine)->Submit(QueryRequest::ForVertex(v)
+                                               .WithPriority(priority)
+                                               .WithClientId(client_id));
+        if (!submitted.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        pending.push_back(std::move(submitted.value()));
+        if (i % 7 == 0 && (*engine)->admission() != nullptr) {
+          (void)(*engine)->admission()->level();
+          (void)(*engine)->admission()->queue_depth(priority);
+        }
+      }
+      for (auto& future : pending) {
+        auto response = future.get();
+        if (!response.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (response->status.ok()) {
+          if (response->degraded !=
+              (response->decision == AdmissionDecision::kDegraded)) {
+            failures.fetch_add(1);
+          }
+          ok_count.fetch_add(1);
+        } else if (response->status.code() == StatusCode::kUnavailable &&
+                   IsShed(response->decision)) {
+          shed_count.fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ok_count.load() + shed_count.load(),
+            kClientThreads * kIterations);
+  EXPECT_GT(ok_count.load(), 0);
+  // Shed responses never reach the cache.
+  EXPECT_LE((*engine)->CacheSize(), static_cast<size_t>(ok_count.load()));
 }
 
 // ------------------------------------------------------- workspace recycling

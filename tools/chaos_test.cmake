@@ -177,5 +177,66 @@ endif()
 file(REMOVE ${pm})
 message(STATUS "chaos scenario postmortem passed")
 
+# Chaos under load: drive the engine at roughly 2x its sustainable rate
+# while backend faults fire probabilistically. The acceptance contract
+# (docs/SERVING.md): the process stays up and exits 0, admission control
+# sheds/degrades rather than collapsing, faults demonstrably fired, and
+# the serving report is still a well-formed simrank-serving-v1 document.
+if(LOADGEN)
+  set(bench ${WORK_DIR}/chaos_serving.json)
+  set(lobs ${WORK_DIR}/chaos_serving_obs.json)
+  file(REMOVE ${bench} ${lobs})
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            "SIMRANK_FAULTS=service.query.exec=error@p0.05"
+            "SIMRANK_FAULT_SEED=7"
+            ${LOADGEN} --family=web --n=600 --m=3000 --graph-seed=11
+            --qps=500 --duration=3 --threads=2 --seed=5
+            --walks-refine=2000
+            --interactive-queue=16 --batch-queue=4 --degrade-watermark=4
+            --client-rate=200 --target-p99=0.002
+            --breach-steps=1 --recover-steps=3
+            --slo=p99:0.5,shed_rate:0.95
+            --out=${bench} --obs-json=${lobs}
+    RESULT_VARIABLE code OUTPUT_VARIABLE o ERROR_VARIABLE e)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "chaos-under-load: engine fell over under overload "
+                        "with faults armed (exit ${code})\n${o}\n${e}")
+  endif()
+  file(READ ${bench} bench_json)
+  if(NOT bench_json MATCHES "\"schema\":\"simrank-serving-v1\"")
+    message(FATAL_ERROR "chaos-under-load: bad serving report:\n"
+                        "${bench_json}")
+  endif()
+  string(REGEX MATCH "\"achieved_qps\":([0-9.eE+-]+)" _ "${bench_json}")
+  if(NOT CMAKE_MATCH_1 GREATER 0)
+    message(FATAL_ERROR "chaos-under-load: nothing was served:\n"
+                        "${bench_json}")
+  endif()
+  # Overload must be absorbed by the controller, not ignored: some
+  # traffic was degraded or shed.
+  string(REGEX MATCH "\"degraded_rate\":([0-9.eE+-]+)" _ "${bench_json}")
+  set(degraded_rate ${CMAKE_MATCH_1})
+  string(REGEX MATCH "\"shed_rate\":([0-9.eE+-]+)" _ "${bench_json}")
+  set(shed_rate ${CMAKE_MATCH_1})
+  if(NOT degraded_rate GREATER 0 AND NOT shed_rate GREATER 0)
+    message(FATAL_ERROR "chaos-under-load: 2x overload produced neither "
+                        "degradation nor shedding:\n${bench_json}")
+  endif()
+  file(READ ${lobs} lobs_json)
+  if(NOT lobs_json MATCHES "faults\\.injected")
+    message(FATAL_ERROR "chaos-under-load: obs snapshot has no "
+                        "faults.injected counter:\n${lobs_json}")
+  endif()
+  string(REGEX MATCH "\"faults\\.injected\": *0[^0-9]" zero_injected
+         "${lobs_json}")
+  if(zero_injected)
+    message(FATAL_ERROR "chaos-under-load: faults never fired:\n"
+                        "${lobs_json}")
+  endif()
+  file(REMOVE ${bench} ${lobs})
+  message(STATUS "chaos scenario under-load passed")
+endif()
+
 file(REMOVE ${golden} ${graph} ${index})
 message(STATUS "chaos test passed")

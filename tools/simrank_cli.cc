@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "eval/datasets.h"
 #include "graph/io.h"
 #include "graph/stats.h"
@@ -43,71 +44,9 @@
 namespace {
 
 using namespace simrank;
-
-// --------- tiny flag parser ---------
-
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      const char* arg = argv[i];
-      if (std::strncmp(arg, "--", 2) != 0) {
-        positional_.push_back(arg);
-        continue;
-      }
-      const char* eq = std::strchr(arg, '=');
-      if (eq == nullptr) {
-        values_[std::string(arg + 2)] = "true";
-      } else {
-        values_[std::string(arg + 2, eq)] = eq + 1;
-      }
-    }
-  }
-
-  std::string GetString(const std::string& key,
-                        const std::string& fallback = "") const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::strtoull(
-        it->second.c_str(), nullptr, 10);
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
-  }
-  bool GetBool(const std::string& key) const {
-    auto it = values_.find(key);
-    return it != values_.end() && it->second != "false";
-  }
-  const std::vector<std::string>& positional() const { return positional_; }
-
- private:
-  std::map<std::string, std::string> values_;
-  std::vector<std::string> positional_;
-};
-
-// The documented exit-code mapping (see the file header). Argument-shaped
-// codes collapse to the usage code: whether "--vertex=9999999" is caught
-// by flag validation or deep in the library, the caller sees the same 2.
-int ExitCodeFor(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kInvalidArgument:
-    case StatusCode::kNotFound:
-    case StatusCode::kOutOfRange:
-      return 2;
-    case StatusCode::kIoError:
-      return 3;
-    case StatusCode::kCorruption:
-      return 4;
-    case StatusCode::kDeadlineExceeded:
-      return 5;
-    default:
-      return 1;
-  }
-}
+using tools::ExitCodeFor;
+using tools::Flags;
+using tools::ParseSlos;
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -156,7 +95,7 @@ int Usage() {
                "                   failure writes a simrank-events-v1\n"
                "                   document to PATH before aborting\n"
                "exit codes: 0 ok, 1 internal, 2 usage, 3 io, 4 corruption,\n"
-               "            5 deadline/degraded\n");
+               "            5 deadline/degraded/overload-shed\n");
   return 2;
 }
 
@@ -192,53 +131,6 @@ Result<BackendChoice> BackendFromFlags(const Flags& flags) {
         "--backend: expected auto, mc, sling or exact; got '" + name + "'");
   }
   return *choice;
-}
-
-// Parses the --slo grammar: comma-separated `objective:threshold` clauses
-// where objective is p50 | p95 | p99 (seconds) or error_rate | shed_rate |
-// degraded_rate (fraction), e.g. "p99:0.05,error_rate:0.01". The objective
-// token doubles as the SLO name (gauges service.slo.p99.* etc.).
-Status ParseSlos(const std::string& spec, std::vector<obs::SloSpec>* slos) {
-  size_t pos = 0;
-  while (pos <= spec.size()) {
-    size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string clause = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (clause.empty()) continue;
-    const size_t colon = clause.find(':');
-    if (colon == std::string::npos || colon == 0 ||
-        colon + 1 >= clause.size()) {
-      return Status::InvalidArgument(
-          "--slo: expected objective:threshold, got '" + clause + "'");
-    }
-    obs::SloSpec slo;
-    slo.name = clause.substr(0, colon);
-    if (slo.name == "p50") {
-      slo.objective = obs::SloSpec::Objective::kLatencyP50;
-    } else if (slo.name == "p95") {
-      slo.objective = obs::SloSpec::Objective::kLatencyP95;
-    } else if (slo.name == "p99") {
-      slo.objective = obs::SloSpec::Objective::kLatencyP99;
-    } else if (slo.name == "error_rate") {
-      slo.objective = obs::SloSpec::Objective::kErrorRate;
-    } else if (slo.name == "shed_rate") {
-      slo.objective = obs::SloSpec::Objective::kShedRate;
-    } else if (slo.name == "degraded_rate") {
-      slo.objective = obs::SloSpec::Objective::kDegradedRate;
-    } else {
-      return Status::InvalidArgument("--slo: unknown objective '" +
-                                     slo.name + "'");
-    }
-    char* end = nullptr;
-    slo.threshold = std::strtod(clause.c_str() + colon + 1, &end);
-    if (end != clause.c_str() + clause.size()) {
-      return Status::InvalidArgument("--slo: bad threshold in '" + clause +
-                                     "'");
-    }
-    slos->push_back(std::move(slo));
-  }
-  return Status::OK();
 }
 
 void PrintRanking(const std::vector<ScoredVertex>& ranking) {

@@ -56,7 +56,35 @@ const DirectedGraph& BenchGraph() {
     const uint64_t edges = std::max<uint64_t>(
         1024, static_cast<uint64_t>(std::llround(300000.0 * g_bench_scale)));
     Rng rng(42);
-    return new DirectedGraph(MakeRmat(bits, edges, rng));
+    auto* g = new DirectedGraph(MakeRmat(bits, edges, rng));
+    // Layout gauges: the plain walk working set vs what the compressed
+    // overlay would occupy. Both land in the bench JSON's metrics block,
+    // so layout-size regressions show up next to the timing regressions.
+    obs::MetricsRegistry::Default()
+        .GetGauge("graph.bytes")
+        .Set(static_cast<int64_t>(g->WalkWorkingSetBytes()));
+    return g;
+  }();
+  return *graph;
+}
+
+// The same corpus under the hybrid compressed layout and the batched
+// (non-resident) kernel: the A/B counterpart of BenchGraph for the
+// BM_*Compressed cases. At bench scale the stats policy would keep the
+// graph uncompressed and resident, so the compressed cases pin the layout
+// big graphs get — low-degree rows varint-inline at the default cutoff,
+// hub rows escaped to plain element access.
+const DirectedGraph& CompressedBenchGraph() {
+  static const DirectedGraph* graph = [] {
+    auto* g = new DirectedGraph(BenchGraph());
+    WalkLayoutOptions options;
+    options.inline_cutoff = WalkLayoutOptions::kDefaultInlineCutoff;
+    options.resident_bytes = 0;  // prefetching kernel path
+    g->SetWalkLayout(options);
+    obs::MetricsRegistry::Default()
+        .GetGauge("graph.compressed.bytes")
+        .Set(static_cast<int64_t>(g->WalkWorkingSetBytes()));
+    return g;
   }();
   return *graph;
 }
@@ -78,6 +106,28 @@ void BM_WalkAdvance(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_WalkAdvance)->Arg(10)->Arg(100)->Arg(1000);
+
+// A/B twin of BM_WalkAdvance on the varint-compressed layout (registered
+// adjacent so the pair runs back to back under the same machine
+// conditions). The delta between the pair is the decode cost the hybrid
+// policy weighs against the working-set shrink.
+void BM_WalkAdvanceCompressed(benchmark::State& state) {
+  const DirectedGraph& graph = CompressedBenchGraph();
+  Rng rng(1);
+  auto walks = std::make_unique<WalkSet>(
+      graph, 1, static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    walks->Advance(rng);
+    if (walks->AllDead()) {
+      state.PauseTiming();
+      walks = std::make_unique<WalkSet>(
+          graph, 1, static_cast<uint32_t>(state.range(0)));
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WalkAdvanceCompressed)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_WalkCounter(benchmark::State& state) {
   Rng rng(2);
@@ -125,6 +175,26 @@ void BM_ProfileBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ProfileBuild)->Arg(100)->Arg(1000);
+
+// A/B twin of BM_ProfileBuild on the compressed layout: profile
+// construction is the per-query walk workload end to end (kernel + fused
+// counting), so this pair bounds the end-to-end query cost of flipping
+// the layout policy.
+void BM_ProfileBuildCompressed(benchmark::State& state) {
+  const DirectedGraph& graph = CompressedBenchGraph();
+  SimRankParams params;
+  MonteCarloSimRank mc(graph, params,
+                       UniformDiagonal(graph.NumVertices(), params.decay));
+  Rng rng(12);
+  Vertex v = 0;
+  for (auto _ : state) {
+    v = (v + 37) % graph.NumVertices();
+    benchmark::DoNotOptimize(
+        mc.BuildProfile(v, static_cast<uint32_t>(state.range(0)), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProfileBuildCompressed)->Arg(100)->Arg(1000);
 
 void BM_ProfileEstimate(benchmark::State& state) {
   const DirectedGraph& graph = BenchGraph();

@@ -1,0 +1,117 @@
+#include "graph/compressed.h"
+
+namespace simrank {
+
+namespace {
+
+inline void EncodeVarint32(uint32_t value, std::vector<uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+}  // namespace
+
+WalkLayoutOptions WalkLayoutOptions::FromStats(Vertex num_vertices,
+                                               uint64_t num_edges) {
+  WalkLayoutOptions options;
+  // The plain walk working set: one offset row per vertex plus the
+  // targets. This is what the layout competes against.
+  const uint64_t plain_bytes =
+      (static_cast<uint64_t>(num_vertices) + 1) * sizeof(uint64_t) +
+      num_edges * sizeof(Vertex);
+  options.resident_bytes = kDefaultResidentBytes;
+  // Inline compression trades decode work for bytes; it only pays once
+  // the working set has outgrown the cache hierarchy.
+  options.inline_cutoff =
+      plain_bytes > kDefaultCompressBytes ? kDefaultInlineCutoff : 0;
+  // Hugepage backing is pure upside for multi-MB overlays (fewer dTLB
+  // entries for the same random loads) and a no-op below 2 MiB.
+  options.huge_pages = plain_bytes >= (2ull << 20);
+  return options;
+}
+
+bool CompressedInCsr::Supported(Vertex num_vertices, uint64_t num_edges) {
+  (void)num_vertices;
+  // base must index the targets array and degrees must fit 31 bits.
+  return num_edges < (1ull << 31);
+}
+
+CompressedInCsr::CompressedInCsr(const uint64_t* offsets,
+                                 const Vertex* targets, Vertex num_vertices,
+                                 const WalkLayoutOptions& options) {
+  SIMRANK_CHECK(Supported(num_vertices, offsets[num_vertices]));
+  const uint32_t cutoff = options.inline_cutoff;
+
+  // Encode the inline rows first (into a plain vector — encoding is
+  // sequential and cheap), then move the bytes into the possibly
+  // hugepage-backed pool.
+  std::vector<uint8_t> encoded;
+  cells_ = HugeArray<Cell>(num_vertices, options.huge_pages);
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    const uint64_t lo = offsets[v];
+    const uint64_t hi = offsets[v + 1];
+    const uint32_t degree = static_cast<uint32_t>(hi - lo);
+    Cell& cell = cells_[v];
+    if (degree == 0) {
+      cell = Cell{0, 0};
+      continue;
+    }
+    if (cutoff != 0 && degree <= cutoff) {
+      const uint64_t start = encoded.size();
+      SIMRANK_CHECK_LT(start, 1ull << 32);
+      EncodeVarint32(targets[lo], encoded);
+      for (uint64_t e = lo + 1; e < hi; ++e) {
+        EncodeVarint32(targets[e] - targets[e - 1], encoded);
+      }
+      cell = Cell{static_cast<uint32_t>(start), (degree << 1) | 1u};
+      inline_edges_ += degree;
+    } else {
+      cell = Cell{static_cast<uint32_t>(lo), degree << 1};
+      escaped_edges_ += degree;
+    }
+  }
+  pool_ = HugeArray<uint8_t>(encoded.size(), options.huge_pages);
+  if (!encoded.empty()) {
+    std::memcpy(pool_.data(), encoded.data(), encoded.size());
+  }
+  working_set_bytes_ = static_cast<uint64_t>(cells_.size()) * sizeof(Cell) +
+                       pool_.size() + escaped_edges_ * sizeof(Vertex);
+}
+
+Vertex CompressedInCsr::Element(Vertex v, uint32_t index,
+                                const Vertex* targets) const {
+  SIMRANK_CHECK_LT(v, cells_.size());
+  const Cell cell = cells_[v];
+  SIMRANK_CHECK_LT(index, cell.meta >> 1);
+  if ((cell.meta & 1u) != 0) {
+    return DecodeRowElement(pool_.data() + cell.base, index);
+  }
+  return targets[cell.base + index];
+}
+
+std::span<const Vertex> CompressedInCsr::DecodeRow(
+    Vertex v, const Vertex* targets, std::vector<Vertex>& scratch) const {
+  SIMRANK_CHECK_LT(v, cells_.size());
+  const Cell cell = cells_[v];
+  const uint32_t degree = cell.meta >> 1;
+  if ((cell.meta & 1u) == 0) {
+    return {targets + cell.base, degree};
+  }
+  scratch.resize(degree);
+  const uint8_t* p = pool_.data() + cell.base;
+  uint32_t value = 0;
+  for (uint32_t i = 0; i < degree; ++i) {
+    value = (i == 0 ? DecodeVarint32(p) : value + DecodeVarint32(p));
+    scratch[i] = value;
+  }
+  return {scratch.data(), degree};
+}
+
+uint64_t CompressedInCsr::MemoryBytes() const {
+  return static_cast<uint64_t>(cells_.size()) * sizeof(Cell) + pool_.size();
+}
+
+}  // namespace simrank

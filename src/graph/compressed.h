@@ -1,0 +1,174 @@
+#ifndef SIMRANK_GRAPH_COMPRESSED_H_
+#define SIMRANK_GRAPH_COMPRESSED_H_
+
+// Walk-oriented hybrid compressed adjacency.
+//
+// The batched walk kernel's inner loop performs two random loads per
+// live walk against the in-CSR arrays: the vertex's offset row (two
+// adjacent uint64s) and one element of its neighbor list. This layer
+// re-packs the in-adjacency for exactly that access pattern:
+//
+//  - One 8-byte *cell* per vertex — {base, degree<<1 | inline_flag} —
+//    so resolving a row costs a single aligned load instead of two
+//    uint64 loads, and the per-vertex metadata array shrinks or stays
+//    equal in size while becoming self-contained.
+//  - Rows with degree <= inline_cutoff are delta/varint-encoded
+//    (LEB128 over the sorted neighbor gaps) into a shared byte pool:
+//    2-4x smaller than four bytes per edge for low-degree rows, which
+//    on power-law graphs is most *rows* (the hubs carry most of the
+//    *mass* and stay uncompressed — see below).
+//  - Rows above the cutoff escape: the cell's base indexes the plain
+//    targets array, so hub rows — where a walk reads one random element
+//    out of hundreds — keep O(1) element access and pay no decode.
+//    This is the degree-skew-aware hybrid: PRSim-style exploitation of
+//    power-law structure applied to the storage layout.
+//
+// The policy (WalkLayoutOptions::FromStats) keys off graph statistics:
+// small, cache-resident graphs skip inline compression entirely (pure
+// narrow cells — decode work would buy nothing when the targets array
+// is already L2-resident) and run the prefetch-free resident kernel;
+// large graphs enable inline compression to shrink the random working
+// set and keep the prefetching kernel. Storage can optionally be
+// hugepage-backed (util/hugepage.h) to cut dTLB pressure.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+#include "util/hugepage.h"
+
+namespace simrank {
+
+using Vertex = uint32_t;  // mirrors graph.h (included there before us)
+
+/// How a graph's walk layout is built; see FromStats for the defaults.
+struct WalkLayoutOptions {
+  /// Rows with degree <= inline_cutoff are delta/varint-encoded into the
+  /// byte pool; longer rows keep plain CSR element access. 0 disables
+  /// inline compression (pure narrow cells).
+  uint32_t inline_cutoff = 0;
+
+  /// Walk working sets at or below this many bytes run the prefetch-free
+  /// resident kernel path; larger ones keep the prefetch-sweep kernel.
+  uint64_t resident_bytes = kDefaultResidentBytes;
+
+  /// Back the cells/pool with transparent huge pages (best-effort).
+  bool huge_pages = false;
+
+  /// In-adjacency bytes above which inline compression pays for itself
+  /// (the working set no longer fits in cache, so shrinking it beats the
+  /// decode cost that compression adds).
+  static constexpr uint64_t kDefaultCompressBytes = 128ull << 20;
+  static constexpr uint64_t kDefaultResidentBytes = 64ull << 20;
+  static constexpr uint32_t kDefaultInlineCutoff = 32;
+
+  /// The stats-driven policy: given vertex/edge counts of the
+  /// in-adjacency, choose cutoff/resident/hugepage defaults.
+  static WalkLayoutOptions FromStats(Vertex num_vertices, uint64_t num_edges);
+};
+
+/// The hybrid compressed in-adjacency overlay. Immutable once built;
+/// value-semantic (deep copy) like the graph that owns it.
+class CompressedInCsr {
+ public:
+  /// Per-vertex row descriptor. meta's low bit set = `base` is a byte
+  /// offset into pool() (inline varint row); clear = `base` indexes the
+  /// plain targets array. Degree is meta >> 1.
+  struct Cell {
+    uint32_t base;
+    uint32_t meta;
+  };
+
+  CompressedInCsr() = default;
+
+  /// True when the narrow cell layout can represent the graph: edge
+  /// count, degrees and pool offsets must all fit the 31/32-bit fields.
+  /// (Beyond that — >2B-edge graphs — the kernel falls back to the wide
+  /// uint64 CSR path.)
+  static bool Supported(Vertex num_vertices, uint64_t num_edges);
+
+  /// Builds the overlay from the in-CSR arrays (`offsets` has
+  /// num_vertices+1 entries; rows sorted ascending). Requires
+  /// Supported(). The targets array must outlive the overlay (escape
+  /// rows index into it).
+  CompressedInCsr(const uint64_t* offsets, const Vertex* targets,
+                  Vertex num_vertices, const WalkLayoutOptions& options);
+
+  bool empty() const { return cells_.empty(); }
+  Vertex num_vertices() const { return static_cast<Vertex>(cells_.size()); }
+
+  const Cell* cells() const { return cells_.data(); }
+  const uint8_t* pool() const { return pool_.data(); }
+
+  /// True when at least one row is inline-compressed (the kernel's
+  /// gather must take the decode branch).
+  bool has_inline_rows() const { return !pool_.empty(); }
+
+  /// True when the cell/pool storage carries the THP advice.
+  bool huge_pages() const { return cells_.huge(); }
+
+  uint32_t Degree(Vertex v) const {
+    SIMRANK_CHECK_LT(v, cells_.size());
+    return cells_[v].meta >> 1;
+  }
+
+  /// Element `index` of v's row (0-based). O(1) for escape rows,
+  /// O(index) varint decodes for inline rows — the walk kernel's single
+  /// random-element access decodes only the prefix it needs.
+  Vertex Element(Vertex v, uint32_t index, const Vertex* targets) const;
+
+  /// Decodes v's full row into `scratch` (resized as needed) and returns
+  /// it; escape rows are returned directly from `targets` without
+  /// copying. This is the row-oriented access path (contract tests,
+  /// full-row consumers); `scratch` is the caller's reusable buffer so
+  /// block-loops decompress without per-row allocation.
+  std::span<const Vertex> DecodeRow(Vertex v, const Vertex* targets,
+                                    std::vector<Vertex>& scratch) const;
+
+  /// Bytes malloc'd/mapped by the overlay itself (cells + pool).
+  uint64_t MemoryBytes() const;
+
+  /// Bytes the walk hot loop can touch through this overlay: cells, the
+  /// pool, and the escaped rows' slices of the plain targets array. This
+  /// is the "graph.compressed.bytes" gauge — the compressed counterpart
+  /// of the plain layout's offsets+targets working set.
+  uint64_t WorkingSetBytes() const { return working_set_bytes_; }
+
+  /// Edges stored inline (varint-encoded) vs escaped to plain rows.
+  uint64_t inline_edges() const { return inline_edges_; }
+  uint64_t escaped_edges() const { return escaped_edges_; }
+
+ private:
+  HugeArray<Cell> cells_;
+  HugeArray<uint8_t> pool_;
+  uint64_t working_set_bytes_ = 0;
+  uint64_t inline_edges_ = 0;
+  uint64_t escaped_edges_ = 0;
+};
+
+/// LEB128 decode of one uint32 at `p`; advances and returns the value.
+/// Exposed for the kernel's inline-row walk step and for tests.
+inline uint32_t DecodeVarint32(const uint8_t*& p) {
+  uint32_t value = *p & 0x7f;
+  uint32_t shift = 7;
+  while ((*p & 0x80) != 0) {
+    ++p;
+    value |= static_cast<uint32_t>(*p & 0x7f) << shift;
+    shift += 7;
+  }
+  ++p;
+  return value;
+}
+
+/// Decodes element `index` of a delta/varint row starting at `row`
+/// (absolute first element, then gaps).
+inline Vertex DecodeRowElement(const uint8_t* row, uint32_t index) {
+  uint32_t value = DecodeVarint32(row);
+  for (uint32_t i = 0; i < index; ++i) value += DecodeVarint32(row);
+  return value;
+}
+
+}  // namespace simrank
+
+#endif  // SIMRANK_GRAPH_COMPRESSED_H_

@@ -3,9 +3,11 @@
 #include <bit>
 #include <cmath>
 
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/counter.h"
 #include "util/fault_injection.h"
+#include "util/hugepage.h"
 
 namespace simrank::obs {
 
@@ -105,6 +107,18 @@ MetricsRegistry::MetricsRegistry() {
   // registry as callback gauges.
   RegisterCallbackGauge("util.walk_counter.grows", [] {
     return static_cast<int64_t>(WalkCounter::TotalGrows());
+  });
+  // Arena health: total block mallocs ever, and blocks malloc'd by arenas
+  // that had already been warmed by a Reset (steady-state growth — zero
+  // when every workspace reaches its high-water mark and stays there).
+  RegisterCallbackGauge("util.arena.blocks_allocated", [] {
+    return static_cast<int64_t>(Arena::TotalBlockAllocs());
+  });
+  RegisterCallbackGauge("util.arena.steady_state_allocs", [] {
+    return static_cast<int64_t>(Arena::TotalSteadyStateAllocs());
+  });
+  RegisterCallbackGauge("util.hugepage.bytes", [] {
+    return static_cast<int64_t>(HugePageBytesMapped());
   });
 }
 

@@ -158,7 +158,8 @@ std::vector<double> ComputeL1Beta(const DirectedGraph& graph,
                                   const std::vector<double>& diagonal,
                                   Vertex query, uint32_t num_walks,
                                   const BfsWorkspace& distances,
-                                  uint32_t max_distance, Rng& rng) {
+                                  uint32_t max_distance, Rng& rng,
+                                  Arena* arena) {
   params.Validate();
   SIMRANK_CHECK_EQ(diagonal.size(), graph.NumVertices());
   SIMRANK_CHECK_GE(num_walks, 1u);
@@ -168,8 +169,12 @@ std::vector<double> ComputeL1Beta(const DirectedGraph& graph,
   // walks (Algorithm 2).
   std::vector<std::vector<double>> alpha(rows,
                                          std::vector<double>(steps, 0.0));
-  WalkSet walks(graph, query, num_walks);
-  WalkCounter counter(num_walks);
+  // Walk scratch is scoped to this bound computation: mark/rewind hands the
+  // space back before the caller builds its walk profile in the same arena.
+  const Arena::Marker marker =
+      arena != nullptr ? arena->Mark() : Arena::Marker{};
+  WalkSet walks(graph, query, num_walks, arena);
+  WalkCounter counter(num_walks, arena);
   const double inv_walks = 1.0 / static_cast<double>(num_walks);
   for (uint32_t t = 0; t < steps; ++t) {
     counter.Clear();
@@ -185,6 +190,7 @@ std::vector<double> ComputeL1Beta(const DirectedGraph& graph,
       walks.Advance(rng);
     }
   }
+  if (arena != nullptr) arena->Rewind(marker);
   return AssembleBeta(alpha, params, max_distance);
 }
 

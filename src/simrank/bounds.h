@@ -7,6 +7,7 @@
 #include "graph/graph.h"
 #include "graph/traversal.h"
 #include "simrank/params.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -102,13 +103,16 @@ class GammaTable {
 /// `distances` must hold the undirected BFS distances from u (the result of
 /// a BfsWorkspace run); walks only visit vertices within distance <=
 /// num_steps, so the BFS may be truncated there. Returns beta indexed by
-/// distance d = 0 .. max_distance.
+/// distance d = 0 .. max_distance. `arena`, when given, backs the walk
+/// scratch (the dominant allocation at the usual R = 10000); the call
+/// marks and rewinds it, so the caller's arena is returned untouched.
 std::vector<double> ComputeL1Beta(const DirectedGraph& graph,
                                   const SimRankParams& params,
                                   const std::vector<double>& diagonal,
                                   Vertex query, uint32_t num_walks,
                                   const BfsWorkspace& distances,
-                                  uint32_t max_distance, Rng& rng);
+                                  uint32_t max_distance, Rng& rng,
+                                  Arena* arena = nullptr);
 
 /// Exact variant of ComputeL1Beta via deterministic propagation of P^t e_u
 /// (the test oracle; also usable at query time on small graphs).

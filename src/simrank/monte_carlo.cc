@@ -33,44 +33,46 @@ obs::Counter& EstimatesCounter() {
 
 }  // namespace
 
-WalkSet::WalkSet(const DirectedGraph& graph, Vertex origin, uint32_t num_walks)
-    : graph_(graph),
-      positions_(num_walks, origin),
-      live_count_(num_walks) {
+WalkSet::WalkSet(const DirectedGraph& graph, Vertex origin, uint32_t num_walks,
+                 Arena* arena)
+    : graph_(graph), positions_(arena), live_count_(num_walks) {
   SIMRANK_CHECK_LT(origin, graph.NumVertices());
+  positions_.assign(num_walks, origin);
   WalksStartedCounter().Add(num_walks);
 }
 
 void WalkSet::Advance(Rng& rng) {
-  live_count_ = AdvanceWalksCompact(graph_, positions_, live_count_, rng);
+  live_count_ = AdvanceWalksCompact(
+      graph_, {positions_.data(), positions_.size()}, live_count_, rng);
 }
 
 uint32_t WalkSet::AdvanceCounted(Rng& rng, WalkCounter& counter) {
   live_count_ =
-      AdvanceWalksCompactCounted(graph_, positions_, live_count_, rng, counter);
+      AdvanceWalksCompactCounted(graph_, {positions_.data(), positions_.size()},
+                                 live_count_, rng, counter);
   return live_count_;
 }
 
 WalkProfile::WalkProfile(const DirectedGraph& graph,
                          const SimRankParams& params, Vertex origin,
-                         uint32_t num_walks, Rng& rng)
+                         uint32_t num_walks, Rng& rng, Arena* arena)
     : origin_(origin), num_walks_(num_walks), num_steps_(params.num_steps) {
   params.Validate();
   SIMRANK_CHECK_GE(num_walks, 1u);
   ProfilesBuiltCounter().Add(1);
   steps_.reserve(num_steps_);
-  WalkSet walks(graph, origin, num_walks);
+  WalkSet walks(graph, origin, num_walks, arena);
   // Step 0 is counted directly (all walks sit at the origin); every later
   // step's counting is fused into the kernel's gather pass. Sizing the
   // step-t counter by the step-(t-1) live count over-provisions slightly
   // for shrinking populations but guarantees the kernel's no-growth
   // capacity contract.
   // Step 0 holds a single distinct key, so a minimal table suffices.
-  WalkCounter first(1);
+  WalkCounter first(1, arena);
   first.AddCount(origin, walks.live_count());
   steps_.push_back(std::move(first));
   for (uint32_t t = 1; t < num_steps_; ++t) {
-    WalkCounter counter(walks.live_count());
+    WalkCounter counter(walks.live_count(), arena);
     if (walks.AdvanceCounted(rng, counter) == 0) break;  // rest is empty
     steps_.push_back(std::move(counter));
   }
@@ -93,14 +95,20 @@ double MonteCarloSimRank::SinglePair(Vertex u, Vertex v, uint32_t num_walks,
 
 double MonteCarloSimRank::EstimateAgainstProfile(const WalkProfile& profile,
                                                  Vertex v, uint32_t num_walks,
-                                                 Rng& rng) const {
+                                                 Rng& rng,
+                                                 Arena* arena) const {
   SIMRANK_CHECK_GE(num_walks, 1u);
   SIMRANK_CHECK_LT(v, graph_.NumVertices());
   EstimatesCounter().Add(1);
   const double normalizer =
       1.0 / (static_cast<double>(profile.num_walks()) *
              static_cast<double>(num_walks));
-  WalkSet walks(graph_, v, num_walks);
+  // The candidate's walks are scratch scoped to this call: mark/rewind so
+  // scoring a thousand candidates against one profile reuses the same few
+  // kilobytes instead of bumping the arena a thousand times.
+  const Arena::Marker marker =
+      arena != nullptr ? arena->Mark() : Arena::Marker{};
+  WalkSet walks(graph_, v, num_walks, arena);
   double score = 0.0;
   double decay_pow = 1.0;
   // Steps at or past the profile's empty_from contribute alpha = 0, so the
@@ -122,6 +130,7 @@ double MonteCarloSimRank::EstimateAgainstProfile(const WalkProfile& profile,
       walks.Advance(rng);
     }
   }
+  if (arena != nullptr) arena->Rewind(marker);
   return score;
 }
 

@@ -7,6 +7,7 @@
 
 #include "graph/graph.h"
 #include "simrank/params.h"
+#include "util/arena.h"
 #include "util/counter.h"
 #include "util/rng.h"
 
@@ -21,8 +22,11 @@ namespace simrank {
 /// over live() and never rescan tombstones.
 class WalkSet {
  public:
-  /// Starts `num_walks` walks at `origin`.
-  WalkSet(const DirectedGraph& graph, Vertex origin, uint32_t num_walks);
+  /// Starts `num_walks` walks at `origin`. With an arena, the position
+  /// array lives in it (per-query workspace recycling — see util/arena.h);
+  /// without one it comes from the heap.
+  WalkSet(const DirectedGraph& graph, Vertex origin, uint32_t num_walks,
+          Arena* arena = nullptr);
 
   /// Advances every live walk one step (uniform random in-neighbor).
   void Advance(Rng& rng);
@@ -36,7 +40,9 @@ class WalkSet {
 
   /// Current positions; dead walks report kNoVertex. Live walks occupy the
   /// prefix [0, live_count()); dead slots are compacted to the tail.
-  const std::vector<Vertex>& positions() const { return positions_; }
+  std::span<const Vertex> positions() const {
+    return {positions_.data(), positions_.size()};
+  }
 
   /// The live walks only (contiguous prefix). Walk order within the span is
   /// not meaningful — compaction reorders it.
@@ -55,7 +61,7 @@ class WalkSet {
 
  private:
   const DirectedGraph& graph_;
-  std::vector<Vertex> positions_;
+  ArenaVector<Vertex> positions_;
   uint32_t live_count_;
 };
 
@@ -67,8 +73,12 @@ class WalkSet {
 class WalkProfile {
  public:
   /// Runs `num_walks` walks of `params.num_steps` steps from `origin`.
+  /// With an arena, every per-step counter table and the walk positions
+  /// draw from it; the profile must then not outlive the arena generation
+  /// (it is the per-query object the workspace arena exists for).
   WalkProfile(const DirectedGraph& graph, const SimRankParams& params,
-              Vertex origin, uint32_t num_walks, Rng& rng);
+              Vertex origin, uint32_t num_walks, Rng& rng,
+              Arena* arena = nullptr);
 
   uint32_t num_walks() const { return num_walks_; }
   uint32_t num_steps() const { return num_steps_; }
@@ -129,15 +139,21 @@ class MonteCarloSimRank {
   /// sum. Returns an unbiased estimate of s^(T)(u, v) for u != v.
   double SinglePair(Vertex u, Vertex v, uint32_t num_walks, Rng& rng) const;
 
-  /// Builds the query vertex's reusable profile.
-  WalkProfile BuildProfile(Vertex u, uint32_t num_walks, Rng& rng) const {
-    return WalkProfile(graph_, params_, u, num_walks, rng);
+  /// Builds the query vertex's reusable profile. `arena`, when given, backs
+  /// the profile's tables (per-query workspace recycling).
+  WalkProfile BuildProfile(Vertex u, uint32_t num_walks, Rng& rng,
+                           Arena* arena = nullptr) const {
+    return WalkProfile(graph_, params_, u, num_walks, rng, arena);
   }
 
   /// Scores candidate v against a prebuilt profile using `num_walks` fresh
-  /// walks from v. Cost O(T * num_walks).
+  /// walks from v. Cost O(T * num_walks). `arena`, when given, backs the
+  /// candidate's transient walk set; the call marks and rewinds it, so
+  /// per-candidate scratch is reclaimed immediately (the profile, living
+  /// below the mark, is untouched).
   double EstimateAgainstProfile(const WalkProfile& profile, Vertex v,
-                                uint32_t num_walks, Rng& rng) const;
+                                uint32_t num_walks, Rng& rng,
+                                Arena* arena = nullptr) const;
 
   /// Sample count for accuracy epsilon with failure probability delta
   /// (Corollary 1): R = 2 (1-c)^2 log(4 n T / delta) / epsilon^2.

@@ -77,10 +77,40 @@ void FlushQueryMetrics(const QueryStats& stats, uint32_t refine_walks,
                          stats.refined * refine_walks);
 }
 
+// Arena bytes one walk set of `walks` walks plus its counter table can
+// consume: the position array, the power-of-two slot table (<= 4x the
+// distinct-key capacity at the <= 50% load factor) and the used-slot list,
+// each rounded up for the arena's alignment padding.
+size_t WalkScratchBytes(size_t walks) {
+  size_t slots = 16;
+  while (slots < walks * 2) slots <<= 1;
+  return walks * sizeof(Vertex) + slots * sizeof(WalkCounter::Entry) +
+         walks * sizeof(uint32_t) + 64;
+}
+
+// Upper bound on the arena high-water mark of one query under `options`:
+// the L1-bound scratch (rewound before the profile is built, but budgeted
+// additively for slack), one counter table per profile step, and the
+// largest candidate walk set (marked/rewound per candidate, so only one is
+// ever live). Sizing the first block to the full budget means a workspace
+// never chains a second block in steady state.
+size_t QueryArenaBudget(const SearchOptions& options) {
+  const size_t steps = options.simrank.num_steps;
+  const size_t candidate_walks =
+      std::max(options.estimate_walks, options.refine_walks);
+  size_t bytes = WalkScratchBytes(options.l1_walks);
+  bytes += options.profile_walks * sizeof(Vertex) + 64;
+  bytes += steps * WalkScratchBytes(options.profile_walks);
+  bytes += WalkScratchBytes(candidate_walks);
+  return bytes + 4096;
+}
+
 }  // namespace
 
 QueryWorkspace::QueryWorkspace(const TopKSearcher& searcher)
-    : bfs_(searcher.graph()), marks_(searcher.graph().NumVertices(), 0) {}
+    : bfs_(searcher.graph()), marks_(searcher.graph().NumVertices(), 0) {
+  arena_.Reserve(QueryArenaBudget(searcher.options()));
+}
 
 Status QueryLimits::Validate() const {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
@@ -318,6 +348,10 @@ QueryResult TopKSearcher::Query(Vertex query, QueryWorkspace& workspace,
       overrides.refine_walks.value_or(options_.refine_walks);
   // Deterministic per-query stream, independent of query order.
   Rng rng(MixSeeds(options_.seed, 0x9E3779B9ULL + query));
+  // One arena generation per query: everything below (L1 scratch, profile
+  // tables, candidate walks) bump-allocates out of the block reserved at
+  // workspace construction.
+  workspace.arena_.Reset();
 
   // BFS from the query: distances feed the pruning bounds, and its
   // discovery order doubles as the index-free candidate enumeration. The
@@ -335,13 +369,15 @@ QueryResult TopKSearcher::Query(Vertex query, QueryWorkspace& workspace,
   if (options_.use_l1_bound) {
     obs::ScopedSpan span("l1_bound");
     beta = ComputeL1Beta(graph_, params, diagonal_, query, options_.l1_walks,
-                         workspace.bfs_, options_.max_distance, rng);
+                         workspace.bfs_, options_.max_distance, rng,
+                         &workspace.arena_);
   }
 
   // The query vertex's walk profile, shared by every candidate estimate.
   const WalkProfile profile = [&] {
     obs::ScopedSpan span("profile");
-    return estimator_->BuildProfile(query, options_.profile_walks, rng);
+    return estimator_->BuildProfile(query, options_.profile_walks, rng,
+                                    &workspace.arena_);
   }();
 
   TopKCollector collector(k);
@@ -388,7 +424,7 @@ QueryResult TopKSearcher::Query(Vertex query, QueryWorkspace& workspace,
       obs::ScopedSpan estimate_span("rough_estimate");
       ++stats.rough_estimates;
       const double rough = estimator_->EstimateAgainstProfile(
-          profile, v, options_.estimate_walks, rng);
+          profile, v, options_.estimate_walks, rng, &workspace.arena_);
       if (rough < options_.adaptive_margin * cutoff()) {
         ++stats.skipped_after_estimate;
         return;
@@ -396,8 +432,8 @@ QueryResult TopKSearcher::Query(Vertex query, QueryWorkspace& workspace,
     }
     obs::ScopedSpan refine_span("refine");
     ++stats.refined;
-    const double score =
-        estimator_->EstimateAgainstProfile(profile, v, refine_walks, rng);
+    const double score = estimator_->EstimateAgainstProfile(
+        profile, v, refine_walks, rng, &workspace.arena_);
     if (score >= threshold) collector.Push(v, score);
   };
 

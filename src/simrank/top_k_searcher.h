@@ -13,6 +13,7 @@
 #include "simrank/index.h"
 #include "simrank/monte_carlo.h"
 #include "simrank/params.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -226,6 +227,14 @@ class QueryWorkspace {
   uint32_t epoch_ = 0;
   /// Lazily sized score accumulator for QueryGroup.
   std::vector<double> group_votes_;
+  /// Per-query bump arena backing the walk profile's tables, the L1-bound
+  /// walk scratch and the serial-path candidate walks. Reset at the start
+  /// of every Query, so a recycled workspace reaches its high-water mark
+  /// on the first query and allocates nothing afterwards (the
+  /// util.arena.steady_state_allocs gauge stays zero). The parallel
+  /// candidate path does not use it: an Arena is single-threaded by
+  /// contract, so pool threads keep their heap-backed scratch.
+  Arena arena_;
 };
 
 /// The paper's similarity-search engine (§7): preprocess once

@@ -2,6 +2,10 @@
 
 #include <cstddef>
 
+#include "graph/compressed.h"
+#include "simrank/walk_kernel_simd.h"
+#include "util/simd.h"
+
 namespace simrank {
 
 namespace {
@@ -14,20 +18,189 @@ inline void PrefetchRead(const void* address) {
 #endif
 }
 
-}  // namespace
+using Cell = CompressedInCsr::Cell;
 
-namespace {
+// -------------------------------------------------------------------------
+// Resident fused path: narrow cells, working set fits the cache hierarchy.
+//
+// When the cells + targets the walks touch are cache-resident, the batched
+// machinery below is pure overhead: the prefetch sweeps request lines that
+// are already present, and staging bases/bounds/draws through lane arrays
+// adds L1 traffic to loads that would hit anyway. A single fused loop —
+// one 8-byte cell load, one inline Lemire draw, one element load per walk
+// — measures ~1.5-1.9x faster at this scale (docs/PERFORMANCE.md).
+//
+// Draw-for-draw identical to every other path: one UniformIndex per
+// surviving walk, in slot order.
+// -------------------------------------------------------------------------
 
-// Shared body of AdvanceWalksCompact{,Counted}: `counter`, when non-null,
-// tallies each block's freshly gathered positions. Inlined into both entry
-// points so the uncounted path carries no per-block branch in practice.
-inline uint32_t AdvanceWalksCompactImpl(const DirectedGraph& graph,
-                                        std::span<Vertex> positions,
-                                        uint32_t live, Rng& rng,
-                                        WalkCounter* counter) {
-  SIMRANK_CHECK_LE(live, positions.size());
-  const uint64_t* offsets = graph.InOffsetsData();
-  const Vertex* targets = graph.InTargetsData();
+template <bool kHasInline>
+inline uint32_t AdvanceCompactResidentLoop(const WalkView& view,
+                                           Vertex* positions, uint32_t live,
+                                           Rng& rng) {
+  const Cell* cells = view.cells;
+  const Vertex* targets = view.targets;
+  const uint8_t* pool = view.pool;
+  // The generator runs in a local copy for the duration of the loop: with
+  // the state behind the caller's reference, the compiler must round-trip
+  // all four xoshiro words through memory every iteration (the position
+  // stores could alias it), which puts a store-forward on the serial draw
+  // chain — the critical path of this loop.
+  Rng local_rng = rng;
+  uint32_t i = 0;
+  while (i < live) {
+    const Cell cell = cells[positions[i]];
+    const uint32_t degree = cell.meta >> 1;
+    if (degree == 0) {
+      --live;
+      positions[i] = positions[live];
+      positions[live] = kNoVertex;
+      continue;
+    }
+    const uint32_t draw = local_rng.UniformIndex(degree);
+    const Vertex next = (kHasInline && (cell.meta & 1u) != 0)
+                            ? DecodeRowElement(pool + cell.base, draw)
+                            : targets[cell.base + draw];
+    positions[i] = next;
+    ++i;
+  }
+  rng = local_rng;
+  return live;
+}
+
+template <bool kHasInline>
+inline uint32_t AdvanceCompactResident(const WalkView& view,
+                                       std::span<Vertex> positions,
+                                       uint32_t live, Rng& rng,
+                                       WalkCounter* counter) {
+  live = AdvanceCompactResidentLoop<kHasInline>(view, positions.data(), live,
+                                                rng);
+  // Count after the step rather than fused into it: swap-compaction leaves
+  // the survivors in the [0, live) prefix in slot order, so one contiguous
+  // 16-lane AddAllPresized pass replaces a per-walk scalar Add whose
+  // hash -> probe serial chain would otherwise dominate counted stepping.
+  // Capacity contract as in the batched path: the caller presized the
+  // counter for the pre-step live count, so this never grows.
+  if (counter != nullptr) {
+    counter->AddAllPresized({positions.data(), live});
+  }
+  return live;
+}
+
+// -------------------------------------------------------------------------
+// Batched prefetching path over narrow cells: working set exceeds cache.
+//
+// Same 3-pass structure as the wide fallback below, but pass 1 resolves a
+// row with a single 8-byte cell load instead of two adjacent uint64s, and
+// pass 3's gather routes through the AVX2 hardware gather when the layout
+// has no inline rows (escape bases are uint32 indexes into targets).
+// -------------------------------------------------------------------------
+
+inline uint32_t AdvanceCompactBatched(const WalkView& view,
+                                      std::span<Vertex> positions,
+                                      uint32_t live, Rng& rng,
+                                      WalkCounter* counter) {
+  const Cell* cells = view.cells;
+  const Vertex* targets = view.targets;
+  const uint8_t* pool = view.pool;
+  // Tiny populations can't amortize the batch machinery; the fused loop is
+  // draw-for-draw identical, so the cutoff is invisible to callers.
+  if (live <= 2 * kWalkPrefetchDistance) {
+    return view.has_inline
+               ? AdvanceCompactResident<true>(view, positions, live, rng,
+                                              counter)
+               : AdvanceCompactResident<false>(view, positions, live, rng,
+                                               counter);
+  }
+  uint32_t base[kWalkBatchSize];
+  uint32_t meta[kWalkBatchSize];
+  uint32_t bound[kWalkBatchSize];
+  uint32_t draw[kWalkBatchSize];
+  // Fused counting runs one block behind the gather (see the wide path).
+  uint32_t pending_start = 0;
+  uint32_t pending_lanes = 0;
+  const bool has_inline = view.has_inline;
+  const bool hw_gather = !has_inline && simd::UseAvx2();
+  uint32_t i = 0;
+  while (i < live) {
+    const uint32_t block_start = i;
+    uint32_t lanes = 0;
+    while (i < live && lanes < kWalkBatchSize) {
+      const uint32_t ahead = i + kWalkPrefetchDistance;
+      if (ahead < live) PrefetchRead(&cells[positions[ahead]]);
+      const Cell cell = cells[positions[i]];
+      const uint32_t degree = cell.meta >> 1;
+      if (degree == 0) {
+        --live;
+        positions[i] = positions[live];
+        positions[live] = kNoVertex;
+        continue;
+      }
+      base[lanes] = cell.base;
+      meta[lanes] = cell.meta;
+      bound[lanes] = degree;
+      ++lanes;
+      ++i;
+    }
+    if (lanes == 0) break;
+    rng.UniformIndexBatch({bound, lanes}, draw);
+    // Prefetch sweep: every lane's element miss in flight at once. Inline
+    // rows prefetch the varint bytes (the decode reads from base forward).
+    if (has_inline) {
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        if ((meta[lane] & 1u) != 0) {
+          PrefetchRead(pool + base[lane]);
+        } else {
+          PrefetchRead(&targets[base[lane] + draw[lane]]);
+        }
+      }
+    } else {
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        PrefetchRead(&targets[base[lane] + draw[lane]]);
+      }
+    }
+    if (counter != nullptr && pending_lanes > 0) {
+      counter->AddAllPresized(
+          {positions.data() + pending_start, pending_lanes});
+    }
+    if (hw_gather) {
+      internal::GatherWalkTargetsAvx2(targets, base, draw, lanes,
+                                      positions.data() + block_start);
+    } else if (has_inline) {
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        positions[block_start + lane] =
+            ((meta[lane] & 1u) != 0)
+                ? DecodeRowElement(pool + base[lane], draw[lane])
+                : targets[base[lane] + draw[lane]];
+      }
+    } else {
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        positions[block_start + lane] = targets[base[lane] + draw[lane]];
+      }
+    }
+    // Cross-step prefetch of the new positions' cells (see the wide path).
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      PrefetchRead(&cells[positions[block_start + lane]]);
+    }
+    pending_start = block_start;
+    pending_lanes = lanes;
+  }
+  if (counter != nullptr && pending_lanes > 0) {
+    counter->AddAllPresized({positions.data() + pending_start, pending_lanes});
+  }
+  return live;
+}
+
+// -------------------------------------------------------------------------
+// Wide fallback: plain uint64 CSR, for graphs past the narrow-layout
+// limits (>2B edges). Kept verbatim as the determinism reference the
+// golden tests compare every other path against.
+// -------------------------------------------------------------------------
+
+inline uint32_t AdvanceCompactWide(const uint64_t* offsets,
+                                   const Vertex* targets,
+                                   std::span<Vertex> positions, uint32_t live,
+                                   Rng& rng, WalkCounter* counter) {
   // Tiny populations can't amortize the batch machinery (stack lanes,
   // prefetch sweeps): step them with the plain scalar loop. Draw-for-draw
   // identical to the batched path — one UniformIndex per surviving walk in
@@ -125,6 +298,30 @@ inline uint32_t AdvanceWalksCompactImpl(const DirectedGraph& graph,
   return live;
 }
 
+// Routes one compact advance through the layout the graph was built with:
+// narrow cells take the fused loop when cache-resident and the batched
+// prefetching loop otherwise; graphs past the narrow limits fall back to
+// the wide path. All routes consume the identical draw stream.
+inline uint32_t AdvanceWalksCompactImpl(const DirectedGraph& graph,
+                                        std::span<Vertex> positions,
+                                        uint32_t live, Rng& rng,
+                                        WalkCounter* counter) {
+  SIMRANK_CHECK_LE(live, positions.size());
+  const WalkView view = graph.walk_view();
+  if (view.cells != nullptr) {
+    if (view.resident) {
+      return view.has_inline
+                 ? AdvanceCompactResident<true>(view, positions, live, rng,
+                                                counter)
+                 : AdvanceCompactResident<false>(view, positions, live, rng,
+                                                 counter);
+    }
+    return AdvanceCompactBatched(view, positions, live, rng, counter);
+  }
+  return AdvanceCompactWide(view.offsets, view.targets, positions, live, rng,
+                            counter);
+}
+
 }  // namespace
 
 uint32_t AdvanceWalksCompact(const DirectedGraph& graph,
@@ -141,8 +338,41 @@ uint32_t AdvanceWalksCompactCounted(const DirectedGraph& graph,
 
 uint32_t StepWalksInPlace(const DirectedGraph& graph,
                           std::span<Vertex> positions, Rng& rng) {
-  const uint64_t* offsets = graph.InOffsetsData();
-  const Vertex* targets = graph.InTargetsData();
+  const WalkView view = graph.walk_view();
+  if (view.cells != nullptr) {
+    // Slot-preserving step over narrow cells. Fused like the resident
+    // compact path; for non-resident working sets a fixed-distance cell
+    // prefetch recovers most of the batched path's overlap without the
+    // lane bookkeeping (slot identity already forces per-slot stores).
+    const Cell* cells = view.cells;
+    const bool lookahead = !view.resident;
+    const size_t n = positions.size();
+    uint32_t alive = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (lookahead) {
+        const size_t ahead = i + kWalkPrefetchDistance;
+        if (ahead < n && positions[ahead] != kNoVertex) {
+          PrefetchRead(&cells[positions[ahead]]);
+        }
+      }
+      const Vertex p = positions[i];
+      if (p == kNoVertex) continue;
+      const Cell cell = cells[p];
+      const uint32_t degree = cell.meta >> 1;
+      if (degree == 0) {
+        positions[i] = kNoVertex;
+        continue;
+      }
+      const uint32_t draw = rng.UniformIndex(degree);
+      positions[i] = ((cell.meta & 1u) != 0)
+                         ? DecodeRowElement(view.pool + cell.base, draw)
+                         : view.targets[cell.base + draw];
+      ++alive;
+    }
+    return alive;
+  }
+  const uint64_t* offsets = view.offsets;
+  const Vertex* targets = view.targets;
   uint64_t base[kWalkBatchSize];
   uint32_t bound[kWalkBatchSize];
   uint32_t draw[kWalkBatchSize];
@@ -151,7 +381,7 @@ uint32_t StepWalksInPlace(const DirectedGraph& graph,
   uint32_t alive = 0;
   size_t i = 0;
   while (i < n) {
-    // Pass 1 as in AdvanceWalksCompact, but dead walks keep their slot
+    // Pass 1 as in the wide compact path, but dead walks keep their slot
     // (kNoVertex tombstone) and each lane remembers which slot it serves.
     uint32_t lanes = 0;
     while (i < n && lanes < kWalkBatchSize) {
@@ -186,7 +416,7 @@ uint32_t StepWalksInPlace(const DirectedGraph& graph,
       positions[slot[lane]] = targets[base[lane] + draw[lane]];
     }
     // Cross-step prefetch of the new positions' offset rows (see
-    // AdvanceWalksCompactImpl).
+    // AdvanceCompactWide).
     for (uint32_t lane = 0; lane < lanes; ++lane) {
       PrefetchRead(&offsets[positions[slot[lane]]]);
     }
@@ -198,13 +428,45 @@ uint32_t StepWalksInPlace(const DirectedGraph& graph,
 void SampleInNeighbors(const DirectedGraph& graph,
                        std::span<const Vertex> vertices, Rng& rng,
                        Vertex* out) {
-  const uint64_t* offsets = graph.InOffsetsData();
-  const Vertex* targets = graph.InTargetsData();
+  const WalkView view = graph.walk_view();
+  const size_t n = vertices.size();
+  if (view.cells != nullptr) {
+    // Fused single-draw sampling over narrow cells; safe under
+    // vertices == out because slot i is fully consumed before out[i] is
+    // written (the lookahead prefetch tolerates stale values).
+    const Cell* cells = view.cells;
+    const bool lookahead = !view.resident;
+    for (size_t i = 0; i < n; ++i) {
+      if (lookahead) {
+        const size_t ahead = i + kWalkPrefetchDistance;
+        if (ahead < n && vertices[ahead] != kNoVertex) {
+          PrefetchRead(&cells[vertices[ahead]]);
+        }
+      }
+      const Vertex v = vertices[i];
+      if (v == kNoVertex) {
+        out[i] = kNoVertex;
+        continue;
+      }
+      const Cell cell = cells[v];
+      const uint32_t degree = cell.meta >> 1;
+      if (degree == 0) {
+        out[i] = kNoVertex;
+        continue;
+      }
+      const uint32_t draw = rng.UniformIndex(degree);
+      out[i] = ((cell.meta & 1u) != 0)
+                   ? DecodeRowElement(view.pool + cell.base, draw)
+                   : view.targets[cell.base + draw];
+    }
+    return;
+  }
+  const uint64_t* offsets = view.offsets;
+  const Vertex* targets = view.targets;
   uint64_t base[kWalkBatchSize];
   uint32_t bound[kWalkBatchSize];
   uint32_t draw[kWalkBatchSize];
   uint32_t slot[kWalkBatchSize];
-  const size_t n = vertices.size();
   size_t i = 0;
   // Aliasing note: each batch reads vertices[] only from its own slot range
   // (plus prefetch peeks ahead, which tolerate stale values) before writing

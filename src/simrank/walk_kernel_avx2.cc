@@ -1,0 +1,46 @@
+// AVX2 gather pass of the batched walk kernel. Function-level target
+// attribute (not -mavx2 library-wide) so the binary runs on any x86-64;
+// walk_kernel.cc routes here through the util/simd.h dispatch.
+//
+// Bit-identity: the gather consumes indices the Rng already produced and
+// performs the same loads the scalar loop would — no draws, no rounding,
+// no reordering of visible effects — so the positions written are equal
+// byte for byte to the scalar gather's.
+
+#include "simrank/walk_kernel_simd.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace simrank::internal {
+
+#if defined(__x86_64__)
+
+__attribute__((target("avx2"))) void GatherWalkTargetsAvx2(
+    const Vertex* targets, const uint32_t* base, const uint32_t* draw,
+    uint32_t lanes, Vertex* out) {
+  uint32_t i = 0;
+  for (; i + 8 <= lanes; i += 8) {
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(draw + i));
+    const __m256i index = _mm256_add_epi32(b, d);
+    const __m256i gathered = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(targets), index, sizeof(Vertex));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), gathered);
+  }
+  for (; i < lanes; ++i) out[i] = targets[base[i] + draw[i]];
+}
+
+#else  // !defined(__x86_64__)
+
+void GatherWalkTargetsAvx2(const Vertex* targets, const uint32_t* base,
+                           const uint32_t* draw, uint32_t lanes, Vertex* out) {
+  for (uint32_t i = 0; i < lanes; ++i) out[i] = targets[base[i] + draw[i]];
+}
+
+#endif
+
+}  // namespace simrank::internal

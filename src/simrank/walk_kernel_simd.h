@@ -1,0 +1,23 @@
+#ifndef SIMRANK_SIMRANK_WALK_KERNEL_SIMD_H_
+#define SIMRANK_SIMRANK_WALK_KERNEL_SIMD_H_
+
+// SIMD helpers for the batched walk kernel, compiled with function-level
+// target attributes in walk_kernel_avx2.cc so the library itself stays
+// baseline x86-64. Callers dispatch through util/simd.h.
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace simrank::internal {
+
+/// Gathers out[i] = targets[base[i] + draw[i]] for i in [0, lanes) with
+/// hardware 32-bit gathers. Exactly the scalar gather loop's result; used
+/// only for narrow-cell layouts without inline rows (escape rows index the
+/// plain targets array with 32-bit bases).
+void GatherWalkTargetsAvx2(const Vertex* targets, const uint32_t* base,
+                           const uint32_t* draw, uint32_t lanes, Vertex* out);
+
+}  // namespace simrank::internal
+
+#endif  // SIMRANK_SIMRANK_WALK_KERNEL_SIMD_H_

@@ -1,0 +1,79 @@
+#include "util/arena.h"
+
+namespace simrank {
+
+void Arena::Reserve(size_t bytes) {
+  for (Block* b = head_; b != nullptr; b = b->next) {
+    if (b->size >= bytes) return;
+  }
+  AppendBlock(bytes);
+}
+
+Arena::Block* Arena::NewBlock(size_t usable) {
+  BlockAllocCount().fetch_add(1, std::memory_order_relaxed);
+  if (warm_) SteadyStateAllocCount().fetch_add(1, std::memory_order_relaxed);
+  void* raw = ::operator new(sizeof(Block) + usable);
+  Block* block = static_cast<Block*>(raw);
+  block->next = nullptr;
+  block->size = usable;
+  block_bytes_ += usable;
+  return block;
+}
+
+Arena::Block* Arena::AppendBlock(size_t usable) {
+  Block* block = NewBlock(usable);
+  if (head_ == nullptr) {
+    head_ = block;
+  } else {
+    Block* tail = head_;
+    while (tail->next != nullptr) tail = tail->next;
+    tail->next = block;
+  }
+  return block;
+}
+
+char* Arena::Refill(size_t bytes, size_t alignment) {
+  const size_t need = bytes + alignment;
+  // First allocation after Reserve (no Reset yet): enter the chain at its
+  // head rather than appending past it.
+  if (current_ == nullptr && head_ != nullptr) {
+    current_ = head_;
+    ptr_ = current_->data();
+    end_ = ptr_ + current_->size;
+    char* aligned = AlignUp(ptr_, alignment);
+    if (bytes <= static_cast<size_t>(end_ - aligned)) return aligned;
+  }
+  while (current_ != nullptr && current_->next != nullptr) {
+    current_ = current_->next;
+    ptr_ = current_->data();
+    end_ = ptr_ + current_->size;
+    char* aligned = AlignUp(ptr_, alignment);
+    if (bytes <= static_cast<size_t>(end_ - aligned)) return aligned;
+  }
+  size_t grown = current_ != nullptr ? current_->size * 2 : first_block_bytes_;
+  if (grown < need) grown = need;
+  Block* block = NewBlock(grown);
+  if (current_ != nullptr) {
+    current_->next = block;
+  } else {
+    head_ = block;
+  }
+  current_ = block;
+  ptr_ = block->data();
+  end_ = ptr_ + block->size;
+  return AlignUp(ptr_, alignment);
+}
+
+void Arena::FreeChain() {
+  Block* b = head_;
+  while (b != nullptr) {
+    Block* next = b->next;
+    ::operator delete(static_cast<void*>(b));
+    b = next;
+  }
+  head_ = current_ = nullptr;
+  ptr_ = end_ = nullptr;
+  block_bytes_ = 0;
+}
+
+}  // namespace simrank

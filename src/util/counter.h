@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/check.h"
 
 namespace simrank {
@@ -23,8 +24,16 @@ class WalkCounter {
   };
 
   /// Creates a counter able to absorb up to `capacity` distinct keys while
-  /// staying under 50% load.
-  explicit WalkCounter(size_t capacity = 64) { Rebuild(capacity); }
+  /// staying under 50% load. With an arena, the table and bookkeeping live
+  /// in it (recycled wholesale by the owner's Reset — the per-query
+  /// workspace pattern); without one they come from the heap.
+  explicit WalkCounter(size_t capacity = 64, Arena* arena = nullptr)
+      : slots_(arena), used_slots_(arena) {
+    Rebuild(capacity);
+  }
+
+  WalkCounter(WalkCounter&&) noexcept = default;
+  WalkCounter& operator=(WalkCounter&&) noexcept = default;
 
   /// Removes all entries; keeps the allocated table.
   void Clear() {
@@ -186,11 +195,11 @@ class WalkCounter {
     }
   }
 
-  std::vector<Entry> slots_;
+  ArenaVector<Entry> slots_;
   // Slot indices, uint32_t rather than size_t: the table never reaches
   // 2^32 slots (capacities are walk counts), and the narrower type halves
   // the traffic of Clear/ForEach/insert bookkeeping.
-  std::vector<uint32_t> used_slots_;
+  ArenaVector<uint32_t> used_slots_;
   size_t mask_ = 0;
 };
 

@@ -1,0 +1,59 @@
+#include "util/hugepage.h"
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace simrank {
+
+namespace {
+
+std::atomic<uint64_t>& MappedBytes() {
+  static std::atomic<uint64_t> bytes{0};
+  return bytes;
+}
+
+constexpr size_t kHugePageBytes = 2u << 20;
+
+}  // namespace
+
+HugeAllocation HugePageAlloc(size_t bytes) {
+#if defined(__linux__)
+  if (bytes == 0) return {};
+  const size_t rounded =
+      (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+  void* ptr = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (ptr == MAP_FAILED) return {};
+  // Advisory only: ENOMEM / EINVAL (THP disabled) leave a perfectly
+  // usable 4 KiB-paged mapping behind, we just report huge = false.
+  const bool advised = madvise(ptr, rounded, MADV_HUGEPAGE) == 0;
+  if (advised) {
+    MappedBytes().fetch_add(rounded, std::memory_order_relaxed);
+  }
+  return HugeAllocation{ptr, rounded, advised};
+#else
+  (void)bytes;
+  return {};
+#endif
+}
+
+void HugePageFree(const HugeAllocation& allocation) {
+#if defined(__linux__)
+  if (allocation.ptr == nullptr) return;
+  if (allocation.huge) {
+    MappedBytes().fetch_sub(allocation.bytes, std::memory_order_relaxed);
+  }
+  munmap(allocation.ptr, allocation.bytes);
+#else
+  (void)allocation;
+#endif
+}
+
+uint64_t HugePageBytesMapped() {
+  return MappedBytes().load(std::memory_order_relaxed);
+}
+
+}  // namespace simrank

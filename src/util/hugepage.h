@@ -1,0 +1,119 @@
+#ifndef SIMRANK_UTIL_HUGEPAGE_H_
+#define SIMRANK_UTIL_HUGEPAGE_H_
+
+// Optional hugepage-backed storage for large flat arrays (the walk
+// kernel's graph layout, index slabs). Random access into a multi-MB
+// array on 4 KiB pages burns a dTLB entry per touched page; backing the
+// array with transparent huge pages (madvise(MADV_HUGEPAGE)) collapses
+// hundreds of TLB entries into a few. Strictly an optimization hint:
+// when THP is unavailable (kernel config, non-Linux) the allocation
+// silently falls back to the normal heap and only `huge` reports false.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace simrank {
+
+/// One anonymous mapping (or heap fallback) of `bytes` bytes.
+struct HugeAllocation {
+  void* ptr = nullptr;
+  size_t bytes = 0;  // mapped length (mmap path only)
+  bool huge = false;  // true when the THP madvise was applied
+};
+
+/// Maps `bytes` (rounded up to 2 MiB) anonymous memory and advises THP.
+/// Returns {nullptr} when mmap or the platform is unavailable — callers
+/// fall back to the heap.
+HugeAllocation HugePageAlloc(size_t bytes);
+void HugePageFree(const HugeAllocation& allocation);
+
+/// Process-wide bytes currently mapped with the THP advice applied
+/// (exported as the "util.hugepage.bytes" obs gauge).
+uint64_t HugePageBytesMapped();
+
+/// Flat array of trivially-copyable T, optionally hugepage-backed.
+/// Copyable (deep) and movable, so owning structures keep value
+/// semantics. Contents are zero-initialized.
+template <typename T>
+class HugeArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  HugeArray() = default;
+
+  HugeArray(size_t count, bool want_huge) { Allocate(count, want_huge); }
+
+  HugeArray(const HugeArray& other) { CopyFrom(other); }
+  HugeArray& operator=(const HugeArray& other) {
+    if (this != &other) {
+      Free();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  HugeArray(HugeArray&& other) noexcept { *this = std::move(other); }
+  HugeArray& operator=(HugeArray&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      mapping_ = std::exchange(other.mapping_, HugeAllocation{});
+    }
+    return *this;
+  }
+
+  ~HugeArray() { Free(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  /// True when the storage carries the THP advice.
+  bool huge() const { return mapping_.huge; }
+
+ private:
+  void Allocate(size_t count, bool want_huge) {
+    size_ = count;
+    if (count == 0) return;
+    if (want_huge) {
+      mapping_ = HugePageAlloc(count * sizeof(T));
+      if (mapping_.ptr != nullptr) {
+        data_ = static_cast<T*>(mapping_.ptr);
+        return;  // mmap memory is already zeroed
+      }
+    }
+    data_ = static_cast<T*>(::operator new(count * sizeof(T)));
+    std::memset(static_cast<void*>(data_), 0, count * sizeof(T));
+  }
+
+  void CopyFrom(const HugeArray& other) {
+    Allocate(other.size_, other.mapping_.ptr != nullptr);
+    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+
+  void Free() {
+    if (mapping_.ptr != nullptr) {
+      HugePageFree(mapping_);
+    } else if (data_ != nullptr) {
+      ::operator delete(static_cast<void*>(data_));
+    }
+    data_ = nullptr;
+    size_ = 0;
+    mapping_ = HugeAllocation{};
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  HugeAllocation mapping_;
+};
+
+}  // namespace simrank
+
+#endif  // SIMRANK_UTIL_HUGEPAGE_H_

@@ -1,0 +1,76 @@
+// AVX2 path of Rng::UniformIndexBatch. Compiled with a function-level
+// target attribute (not -mavx2 for the whole library) so the binary runs
+// on any x86-64 and picks this path up through the util/simd.h dispatch.
+//
+// Bit-identity argument: the xoshiro256** recurrence is consumed by
+// scalar Next() calls exactly as the scalar path would, in the same
+// order. Only the bound-scaling multiply and the rejection *screen* are
+// vectorized. The screen tests low32(x * bound) < bound, which is a
+// superset of the true rejection condition low32 < (-bound % bound); any
+// block that trips it rewinds the generator to the block's start state
+// and replays those eight draws through the scalar UniformIndex,
+// including its rare rejection loop. Blocks that pass the screen are
+// exactly the blocks where the scalar path would have accepted every
+// first draw, and both paths then emit high32(x * bound) per lane.
+
+#include "util/rng.h"
+
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace simrank {
+
+#if defined(__x86_64__)
+
+__attribute__((target("avx2"))) void Rng::UniformIndexBatchAvx2(
+    std::span<const uint32_t> bounds, uint32_t* out) {
+  constexpr size_t kLanes = 8;
+  alignas(32) uint32_t x[kLanes];
+  const __m256i sign = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  size_t i = 0;
+  for (; i + kLanes <= bounds.size(); i += kLanes) {
+    uint64_t saved[4];
+    std::memcpy(saved, state_, sizeof saved);
+    for (size_t lane = 0; lane < kLanes; ++lane) {
+      x[lane] = static_cast<uint32_t>(Next() >> 32);
+    }
+    const __m256i xv = _mm256_load_si256(reinterpret_cast<const __m256i*>(x));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bounds.data() + i));
+    // 64-bit products of the even and odd 32-bit lanes.
+    const __m256i even = _mm256_mul_epu32(xv, bv);
+    const __m256i odd = _mm256_mul_epu32(_mm256_srli_epi64(xv, 32),
+                                         _mm256_srli_epi64(bv, 32));
+    // Low halves interleaved back into 32-bit lane order, then the
+    // unsigned compare low < bound via the sign-bias trick.
+    const __m256i low =
+        _mm256_blend_epi32(even, _mm256_slli_epi64(odd, 32), 0xAA);
+    const __m256i in_window = _mm256_cmpgt_epi32(
+        _mm256_xor_si256(bv, sign), _mm256_xor_si256(low, sign));
+    if (_mm256_movemask_epi8(in_window) != 0) {
+      std::memcpy(state_, saved, sizeof saved);
+      for (size_t lane = 0; lane < kLanes; ++lane) {
+        out[i + lane] = UniformIndex(bounds[i + lane]);
+      }
+      continue;
+    }
+    const __m256i high = _mm256_blend_epi32(_mm256_srli_epi64(even, 32), odd,
+                                            0xAA);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), high);
+  }
+  for (; i < bounds.size(); ++i) out[i] = UniformIndex(bounds[i]);
+}
+
+#else  // !defined(__x86_64__)
+
+void Rng::UniformIndexBatchAvx2(std::span<const uint32_t> bounds,
+                                uint32_t* out) {
+  UniformIndexBatchScalar(bounds, out);
+}
+
+#endif
+
+}  // namespace simrank

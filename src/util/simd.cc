@@ -1,0 +1,46 @@
+#include "util/simd.h"
+
+#include <atomic>
+
+namespace simrank {
+namespace simd {
+
+namespace {
+
+std::atomic<Mode>& ModeFlag() {
+  static std::atomic<Mode> mode{Mode::kAuto};
+  return mode;
+}
+
+}  // namespace
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+void SetMode(Mode mode) {
+  ModeFlag().store(mode, std::memory_order_relaxed);
+}
+
+Mode GetMode() { return ModeFlag().load(std::memory_order_relaxed); }
+
+bool UseAvx2() {
+  switch (GetMode()) {
+    case Mode::kScalar:
+      return false;
+    case Mode::kAvx2:
+    case Mode::kAuto:
+      return CpuHasAvx2();
+  }
+  return false;
+}
+
+std::string_view ActivePathName() { return UseAvx2() ? "avx2" : "scalar"; }
+
+}  // namespace simd
+}  // namespace simrank

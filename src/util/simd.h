@@ -1,0 +1,44 @@
+#ifndef SIMRANK_UTIL_SIMD_H_
+#define SIMRANK_UTIL_SIMD_H_
+
+// Runtime SIMD dispatch seam.
+//
+// Vectorized hot-path variants (Rng::UniformIndexBatch, the walk
+// kernel's gather) are compiled into dedicated AVX2 translation units
+// with __attribute__((target("avx2"))) and selected at runtime, so one
+// binary serves every x86-64 machine. The seam is deliberately tiny and
+// test-controllable: golden tests force kScalar and kAvx2 in turn and
+// assert draw-for-draw identical results, which is what lets the SIMD
+// paths claim the scalar path's determinism contract.
+
+#include <cstdint>
+#include <string_view>
+
+namespace simrank {
+namespace simd {
+
+enum class Mode : uint8_t {
+  kAuto = 0,    // use AVX2 iff the CPU supports it
+  kScalar = 1,  // force the scalar reference paths
+  kAvx2 = 2,    // force AVX2 (callers must have checked CpuHasAvx2)
+};
+
+/// True when the running CPU reports AVX2 (cached cpuid probe); always
+/// false on non-x86 builds.
+bool CpuHasAvx2();
+
+/// Overrides the dispatch decision process-wide (tests, CLI flags, the
+/// bench harness's A/B runs). kAvx2 on a CPU without AVX2 is ignored.
+void SetMode(Mode mode);
+Mode GetMode();
+
+/// The dispatch decision: true when vector paths should run.
+bool UseAvx2();
+
+/// "avx2" or "scalar" — for logs and bench metadata.
+std::string_view ActivePathName();
+
+}  // namespace simd
+}  // namespace simrank
+
+#endif  // SIMRANK_UTIL_SIMD_H_

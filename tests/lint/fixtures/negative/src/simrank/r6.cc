@@ -1,0 +1,26 @@
+// R6 negative fixture: hot-path scratch drawn from the workspace Arena.
+// Scalar (non-array) new of a process-lifetime singleton is also fine —
+// R6 targets per-query array/byte allocations, not object construction.
+#include <cstdint>
+
+namespace simrank {
+
+class Arena {
+ public:
+  template <typename T>
+  T* AllocateArray(unsigned long count);
+};
+
+class QueryMetrics {};
+
+void BuildScratch(Arena* arena, unsigned long walks) {
+  uint32_t* slots = arena->AllocateArray<uint32_t>(walks);
+  slots[0] = 0;
+}
+
+QueryMetrics* Singleton() {
+  static QueryMetrics* metrics = new QueryMetrics();
+  return metrics;
+}
+
+}  // namespace simrank

@@ -1,0 +1,16 @@
+// R6 positive fixture: raw allocations on the query hot path. Everything
+// under src/simrank/ must draw per-query scratch from the workspace Arena
+// so steady-state queries stay allocation-free.
+#include <cstdlib>
+#include <cstdint>
+
+namespace simrank {
+
+void BuildScratch(size_t walks) {
+  uint32_t* slots = new uint32_t[walks];  // finding: array new on hot path
+  void* raw = std::malloc(walks * sizeof(uint64_t));  // finding: malloc
+  std::free(raw);
+  delete[] slots;
+}
+
+}  // namespace simrank

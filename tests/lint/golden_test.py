@@ -79,6 +79,7 @@ def main():
         ("R4", "src/suppress.cc"): 1,  # bare allow() is not a suppression
         ("R4", "src/util/status.h"): 2,  # Status + Result lost [[nodiscard]]
         ("R5", "src/r5.cc"): 3,  # AtomicFileWriter + BinaryWriter + BinaryReader
+        ("R6", "src/simrank/r6.cc"): 2,  # array new[] + malloc on hot path
     }
     check(
         "positive findings match expectations",

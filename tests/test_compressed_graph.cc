@@ -1,0 +1,186 @@
+// Compressed hybrid in-adjacency coverage: varint round-trips, cell
+// metadata, Element/DecodeRow agreement with the plain CSR on random
+// graphs, the stats-driven layout policy, SetWalkLayout rebuilds and the
+// walk_view routing the kernel keys off.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/compressed.h"
+#include "graph/graph.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace simrank {
+namespace {
+
+TEST(VarintTest, DecodeRoundTripsHandEncodedValues) {
+  // LEB128 encodings of 0, 1, 127, 128, 300, 2^21, 2^32-1.
+  const std::vector<std::pair<std::vector<uint8_t>, uint32_t>> cases = {
+      {{0x00}, 0u},
+      {{0x01}, 1u},
+      {{0x7f}, 127u},
+      {{0x80, 0x01}, 128u},
+      {{0xac, 0x02}, 300u},
+      {{0x80, 0x80, 0x80, 0x01}, 1u << 21},
+      {{0xff, 0xff, 0xff, 0xff, 0x0f}, 0xffffffffu},
+  };
+  for (const auto& [bytes, expected] : cases) {
+    const uint8_t* p = bytes.data();
+    EXPECT_EQ(DecodeVarint32(p), expected);
+    EXPECT_EQ(p, bytes.data() + bytes.size()) << "consumed length";
+  }
+}
+
+TEST(CompressedInCsrTest, InlineRowsMatchPlainRows) {
+  const DirectedGraph graph = testing::SmallRandomGraph(200, 17, 300);
+  // Force every row inline: cutoff above the max in-degree.
+  WalkLayoutOptions options;
+  options.inline_cutoff = 100000;
+  graph.InNeighbors(0);  // touch to prove the plain CSR stays intact
+  const CompressedInCsr csr(graph.InOffsetsData(), graph.InTargetsData(),
+                            graph.NumVertices(), options);
+  EXPECT_TRUE(csr.has_inline_rows());
+  EXPECT_EQ(csr.escaped_edges(), 0u);
+  std::vector<Vertex> scratch;
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    const auto plain = graph.InNeighbors(v);
+    ASSERT_EQ(csr.Degree(v), plain.size());
+    const auto row = csr.DecodeRow(v, graph.InTargetsData(), scratch);
+    ASSERT_EQ(row.size(), plain.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(row[i], plain[i]) << "v=" << v << " i=" << i;
+      EXPECT_EQ(csr.Element(v, static_cast<uint32_t>(i),
+                            graph.InTargetsData()),
+                plain[i]);
+    }
+  }
+}
+
+TEST(CompressedInCsrTest, HybridSplitsByDegreeCutoff) {
+  const DirectedGraph graph = testing::SmallRandomGraph(300, 5, 400);
+  WalkLayoutOptions options;
+  options.inline_cutoff = 4;  // BA hubs escape, leaves go inline
+  const CompressedInCsr csr(graph.InOffsetsData(), graph.InTargetsData(),
+                            graph.NumVertices(), options);
+  EXPECT_EQ(csr.inline_edges() + csr.escaped_edges(), graph.NumEdges());
+  EXPECT_GT(csr.inline_edges(), 0u);
+  EXPECT_GT(csr.escaped_edges(), 0u);
+  std::vector<Vertex> scratch;
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    const auto plain = graph.InNeighbors(v);
+    const auto row = csr.DecodeRow(v, graph.InTargetsData(), scratch);
+    ASSERT_EQ(row.size(), plain.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+      ASSERT_EQ(row[i], plain[i]) << "v=" << v;
+    }
+  }
+  // The working set shrank: inline rows cost < 4 bytes/edge on average.
+  const uint64_t plain_bytes =
+      (graph.NumVertices() + 1) * sizeof(uint64_t) +
+      graph.NumEdges() * sizeof(Vertex);
+  EXPECT_LT(csr.WorkingSetBytes(), plain_bytes);
+}
+
+TEST(CompressedInCsrTest, EmptyRowsAndIsolatedVertices) {
+  // Vertex 3 is isolated; vertex 0 has no in-links.
+  const DirectedGraph graph =
+      testing::GraphFromEdges(5, {{0, 1}, {0, 2}, {1, 2}, {4, 2}});
+  WalkLayoutOptions options;
+  options.inline_cutoff = 8;
+  const CompressedInCsr csr(graph.InOffsetsData(), graph.InTargetsData(),
+                            graph.NumVertices(), options);
+  EXPECT_EQ(csr.Degree(0), 0u);
+  EXPECT_EQ(csr.Degree(3), 0u);
+  EXPECT_EQ(csr.Degree(2), 3u);
+  std::vector<Vertex> scratch;
+  EXPECT_TRUE(csr.DecodeRow(0, graph.InTargetsData(), scratch).empty());
+  const auto row = csr.DecodeRow(2, graph.InTargetsData(), scratch);
+  ASSERT_EQ(row.size(), 3u);
+}
+
+TEST(WalkLayoutOptionsTest, FromStatsKeepsSmallGraphsUncompressed) {
+  // 1000 vertices, 5000 edges: ~28KB of plain CSR — far below the
+  // compression threshold, so pure narrow cells and the resident path.
+  const WalkLayoutOptions options = WalkLayoutOptions::FromStats(1000, 5000);
+  EXPECT_EQ(options.inline_cutoff, 0u);
+  EXPECT_FALSE(options.huge_pages);
+}
+
+TEST(WalkLayoutOptionsTest, FromStatsCompressesLargeGraphs) {
+  // 100M vertices, 2B edges: ~8.8GB plain — compression and hugepages on.
+  const WalkLayoutOptions options =
+      WalkLayoutOptions::FromStats(100000000, 2000000000ull);
+  EXPECT_EQ(options.inline_cutoff, WalkLayoutOptions::kDefaultInlineCutoff);
+  EXPECT_TRUE(options.huge_pages);
+}
+
+TEST(CompressedInCsrTest, SupportedRejectsOversizedEdgeCounts) {
+  EXPECT_TRUE(CompressedInCsr::Supported(1000, 1000000));
+  EXPECT_FALSE(CompressedInCsr::Supported(1000, uint64_t{1} << 31));
+}
+
+TEST(DirectedGraphWalkLayoutTest, DefaultLayoutBuildsNarrowCells) {
+  const DirectedGraph graph = testing::SmallRandomGraph(100, 3);
+  const WalkView view = graph.walk_view();
+  ASSERT_NE(view.cells, nullptr);
+  EXPECT_FALSE(view.has_inline);  // small graph: FromStats keeps rows plain
+  EXPECT_TRUE(view.resident);
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    EXPECT_EQ(view.cells[v].meta >> 1, graph.InDegree(v));
+    EXPECT_EQ(view.cells[v].meta & 1u, 0u);
+  }
+}
+
+TEST(DirectedGraphWalkLayoutTest, SetWalkLayoutRebuildsAndRestores) {
+  const DirectedGraph reference = testing::SmallRandomGraph(150, 9, 100);
+  DirectedGraph graph = testing::SmallRandomGraph(150, 9, 100);
+  WalkLayoutOptions compressed;
+  compressed.inline_cutoff = 6;
+  compressed.resident_bytes = 0;  // force the prefetching kernel path
+  graph.SetWalkLayout(compressed);
+  EXPECT_TRUE(graph.walk_view().has_inline);
+  EXPECT_FALSE(graph.walk_view().resident);
+  EXPECT_GT(graph.in_compressed().inline_edges(), 0u);
+  // The overlay must not perturb the graph's plain API.
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    const auto a = graph.InNeighbors(v);
+    const auto b = reference.InNeighbors(v);
+    ASSERT_EQ(std::vector<Vertex>(a.begin(), a.end()),
+              std::vector<Vertex>(b.begin(), b.end()));
+  }
+  // Restoring the stats policy gets back to pure narrow cells.
+  graph.SetWalkLayout(
+      WalkLayoutOptions::FromStats(graph.NumVertices(), graph.NumEdges()));
+  EXPECT_FALSE(graph.walk_view().has_inline);
+  EXPECT_TRUE(graph.walk_view().resident);
+}
+
+TEST(DirectedGraphWalkLayoutTest, HugePageRequestIsHonestAboutBacking) {
+  DirectedGraph graph = testing::SmallRandomGraph(200, 21, 200);
+  WalkLayoutOptions options;
+  options.inline_cutoff = 4;
+  options.huge_pages = true;
+  graph.SetWalkLayout(options);
+  // Whether THP advice sticks is platform-dependent; the flag must only
+  // report true when the backing actually carries the advice.
+  if (graph.in_compressed().huge_pages()) {
+    EXPECT_GT(HugePageBytesMapped(), 0u);
+  }
+  SUCCEED();
+}
+
+TEST(DirectedGraphWalkLayoutTest, WorkingSetBytesTracksLayout) {
+  DirectedGraph graph = testing::SmallRandomGraph(300, 11, 500);
+  const uint64_t narrow = graph.WalkWorkingSetBytes();
+  EXPECT_GT(narrow, 0u);
+  WalkLayoutOptions compressed;
+  compressed.inline_cutoff = 1000000;  // everything inline
+  graph.SetWalkLayout(compressed);
+  EXPECT_LT(graph.WalkWorkingSetBytes(), narrow);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -11,7 +11,9 @@
 #include "graph/graph.h"
 #include "simrank/walk_kernel.h"
 #include "test_helpers.h"
+#include "util/counter.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace simrank {
 namespace {
@@ -198,6 +200,135 @@ TEST(WalkKernelTest, EmptyInputsAreNoOps) {
   // The stream must be untouched by no-op calls.
   Rng fresh(9);
   EXPECT_EQ(rng.Next(), fresh.Next());
+}
+
+// --- Layout / dispatch golden tests -------------------------------------
+//
+// The determinism contract: every kernel path — fused resident loop,
+// batched prefetch loop, inline-compressed rows, AVX2 gather — consumes
+// the RNG stream draw-for-draw identically. These tests pin each layout
+// and dispatch mode in turn against the same seed and require bit-equal
+// position streams.
+
+// Runs `steps` counted advances under the graph's current layout and
+// returns the concatenated position stream (positions after each step).
+std::vector<Vertex> WalkStream(const DirectedGraph& graph, Vertex origin,
+                               uint32_t num_walks, int steps, uint64_t seed) {
+  std::vector<Vertex> stream;
+  std::vector<Vertex> positions(num_walks, origin);
+  Rng rng(seed);
+  uint32_t live = num_walks;
+  for (int s = 0; s < steps && live > 0; ++s) {
+    WalkCounter counter(live);
+    live = AdvanceWalksCompactCounted(graph, positions, live, rng, counter);
+    stream.insert(stream.end(), positions.begin(), positions.end());
+    // Fused counting must agree with the surviving positions.
+    uint32_t counted = 0;
+    counter.ForEach([&](Vertex, uint32_t count) { counted += count; });
+    EXPECT_EQ(counted, live) << "step " << s;
+  }
+  return stream;
+}
+
+// Layout variants applied to copies of one graph. resident_bytes = 0
+// forces the batched prefetch path; a huge resident budget forces the
+// fused loop; the cutoffs toggle inline compression.
+std::vector<WalkLayoutOptions> LayoutMatrix() {
+  WalkLayoutOptions resident_plain;
+  resident_plain.resident_bytes = ~0ull;
+  WalkLayoutOptions batched_plain;
+  batched_plain.resident_bytes = 0;
+  WalkLayoutOptions resident_inline = resident_plain;
+  resident_inline.inline_cutoff = 1000000;
+  WalkLayoutOptions batched_inline = batched_plain;
+  batched_inline.inline_cutoff = 1000000;
+  WalkLayoutOptions batched_hybrid = batched_plain;
+  batched_hybrid.inline_cutoff = 4;
+  return {resident_plain, batched_plain, resident_inline, batched_inline,
+          batched_hybrid};
+}
+
+TEST(WalkKernelGoldenTest, AllLayoutsProduceOneStream) {
+  const uint32_t n = 400;
+  DirectedGraph graph = testing::SmallRandomGraph(n, 31, 600);
+  std::vector<Vertex> reference;
+  int variant = 0;
+  for (const WalkLayoutOptions& options : LayoutMatrix()) {
+    graph.SetWalkLayout(options);
+    // Streams for three origins, concatenated: exercises dying walks
+    // (low-id BA vertices are hubs, high ids may have in-degree 0).
+    std::vector<Vertex> combined;
+    for (Vertex origin : {Vertex{0}, Vertex{n / 2}, Vertex{n - 1}}) {
+      const auto stream = WalkStream(graph, origin, 333, 8, 12345 + origin);
+      combined.insert(combined.end(), stream.begin(), stream.end());
+    }
+    if (variant == 0) reference = combined;
+    EXPECT_EQ(combined, reference) << "layout variant " << variant;
+    ++variant;
+  }
+  // Restore the default policy for any later test sharing the fixture.
+  graph.SetWalkLayout(
+      WalkLayoutOptions::FromStats(graph.NumVertices(), graph.NumEdges()));
+}
+
+TEST(WalkKernelGoldenTest, ScalarAndAvx2DispatchAreBitIdentical) {
+  DirectedGraph graph = testing::SmallRandomGraph(500, 77, 800);
+  WalkLayoutOptions batched;
+  batched.resident_bytes = 0;  // the only path with SIMD in it
+  graph.SetWalkLayout(batched);
+  simd::SetMode(simd::Mode::kScalar);
+  const auto scalar = WalkStream(graph, 3, 512, 10, 999);
+  if (simd::CpuHasAvx2()) {
+    simd::SetMode(simd::Mode::kAvx2);
+    const auto vectored = WalkStream(graph, 3, 512, 10, 999);
+    EXPECT_EQ(vectored, scalar);
+  }
+  simd::SetMode(simd::Mode::kAuto);
+  const auto automatic = WalkStream(graph, 3, 512, 10, 999);
+  EXPECT_EQ(automatic, scalar);
+}
+
+TEST(WalkKernelGoldenTest, StepWalksInPlaceMatchesAcrossLayouts) {
+  const uint32_t n = 300;
+  DirectedGraph graph = testing::SmallRandomGraph(n, 13, 400);
+  std::vector<Vertex> reference;
+  int variant = 0;
+  for (const WalkLayoutOptions& options : LayoutMatrix()) {
+    graph.SetWalkLayout(options);
+    std::vector<Vertex> positions(256);
+    for (size_t i = 0; i < positions.size(); ++i) {
+      positions[i] = static_cast<Vertex>((i * 7) % n);
+    }
+    positions[5] = kNoVertex;  // tombstones must stay put
+    positions[100] = kNoVertex;
+    Rng rng(4242);
+    for (int s = 0; s < 6; ++s) StepWalksInPlace(graph, positions, rng);
+    if (variant == 0) reference = positions;
+    EXPECT_EQ(positions, reference) << "layout variant " << variant;
+    EXPECT_EQ(positions[5], kNoVertex);
+    EXPECT_EQ(positions[100], kNoVertex);
+    ++variant;
+  }
+}
+
+TEST(WalkKernelGoldenTest, SampleInNeighborsMatchesAcrossLayouts) {
+  const uint32_t n = 250;
+  DirectedGraph graph = testing::SmallRandomGraph(n, 19, 300);
+  std::vector<Vertex> sources(200);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    sources[i] = static_cast<Vertex>((i * 11) % n);
+  }
+  std::vector<Vertex> reference;
+  int variant = 0;
+  for (const WalkLayoutOptions& options : LayoutMatrix()) {
+    graph.SetWalkLayout(options);
+    std::vector<Vertex> out(sources.size());
+    Rng rng(31337);
+    SampleInNeighbors(graph, sources, rng, out.data());
+    if (variant == 0) reference = out;
+    EXPECT_EQ(out, reference) << "layout variant " << variant;
+    ++variant;
+  }
 }
 
 }  // namespace
